@@ -1,0 +1,102 @@
+"""Figure 6: Spotify-workload throughput vs number of namenodes.
+
+Series reproduced: HopsFS on 12/8/4/2-node NDB clusters as namenodes
+scale 1→60, the hotspot variant (§7.2.1), and the flat HDFS line.
+Headline checks: ≈16× HDFS at 60 NN / 12 NDB; ≈1.1× HDFS with equivalent
+hardware (3 NN + 2 NDB ≈ the 5-server HDFS HA deployment); hotspot ≈3×
+HDFS and insensitive to extra namenodes.
+"""
+
+import pytest
+
+from benchmarks.conftest import DURATION, SCALE, fmt_ops, print_table
+from repro.perfmodel.hdfs_model import simulate_hdfs
+from repro.perfmodel.hopsfs_model import simulate_hopsfs
+
+NN_SWEEP = (1, 3, 5, 10, 20, 30, 45, 60)
+NDB_SIZES = (12, 8, 4, 2)
+
+
+def _clients_for(num_namenodes: int) -> int:
+    return min(12000, 400 * num_namenodes + 200)
+
+
+@pytest.fixture(scope="module")
+def figure6(profiles):
+    data = {"hdfs": simulate_hdfs(clients=2000, duration=DURATION).throughput}
+    for ndb in NDB_SIZES:
+        data[f"ndb{ndb}"] = {
+            n: simulate_hopsfs(num_namenodes=n, ndb_nodes=ndb,
+                               clients=_clients_for(n), scale=SCALE,
+                               duration=DURATION,
+                               profiles=profiles).throughput
+            for n in NN_SWEEP
+        }
+    data["hotspot"] = {
+        n: simulate_hopsfs(num_namenodes=n, ndb_nodes=12,
+                           clients=_clients_for(n), scale=SCALE,
+                           duration=DURATION, hotspot=True,
+                           profiles=profiles).throughput
+        for n in (10, 30, 60)
+    }
+    return data
+
+
+def test_fig6_series(figure6, capsys, benchmark):
+    data = benchmark.pedantic(lambda: figure6, rounds=1, iterations=1)
+    headers = ["namenodes"] + [f"NDB={n}" for n in NDB_SIZES] + ["hotspot"]
+    rows = []
+    for n in NN_SWEEP:
+        row = [str(n)]
+        row += [fmt_ops(data[f"ndb{ndb}"][n]) for ndb in NDB_SIZES]
+        row.append(fmt_ops(data["hotspot"].get(n, float("nan")))
+                   if n in data["hotspot"] else "")
+        rows.append(row)
+    rows.append(["HDFS", fmt_ops(data["hdfs"]), "", "", "", ""])
+    print_table(
+        "Figure 6 — HopsFS and HDFS throughput, Spotify workload "
+        "(paper: 1.25M @ 60NN/12NDB, HDFS 78.9K)",
+        headers, rows, capsys)
+
+    hdfs = data["hdfs"]
+    top = data["ndb12"][60]
+    # headline: an order of magnitude over HDFS (paper: 16x)
+    assert 10 <= top / hdfs <= 22
+    # linear region: 1 -> 20 namenodes scales at least 12x on 12-node NDB
+    assert data["ndb12"][20] > 12 * data["ndb12"][1]
+    # saturation ordering by NDB cluster size at 60 namenodes
+    at60 = [data[f"ndb{n}"][60] for n in NDB_SIZES]
+    assert at60[0] > at60[1] > at60[2] > at60[3]
+    # smaller NDB clusters saturate earlier (2-node NDB gains little
+    # beyond 20 namenodes)
+    assert data["ndb2"][60] < 1.25 * data["ndb2"][20]
+
+
+def test_fig6_equivalent_hardware(profiles, capsys, benchmark):
+    """3 namenodes + 2 NDB nodes vs the 5-server HDFS setup (~+10 %)."""
+
+    def run():
+        hopsfs = simulate_hopsfs(num_namenodes=3, ndb_nodes=2, clients=1500,
+                                 scale=0.1, duration=DURATION,
+                                 profiles=profiles).throughput
+        hdfs = simulate_hdfs(clients=2000, duration=DURATION).throughput
+        return hopsfs, hdfs
+
+    hopsfs, hdfs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 6 inset — equivalent hardware (paper: HopsFS ≈ +10 %)",
+        ["system", "ops/sec"],
+        [["HopsFS 3NN+2NDB", fmt_ops(hopsfs)], ["HDFS 5-server", fmt_ops(hdfs)]],
+        capsys)
+    assert 0.85 <= hopsfs / hdfs <= 1.5  # comparable, HopsFS not worse
+
+
+def test_fig6_hotspot_ceiling(figure6, capsys, benchmark):
+    """§7.2.1: the hotspot caps HopsFS at ~3x HDFS, regardless of NNs."""
+    data = benchmark.pedantic(lambda: figure6, rounds=1, iterations=1)
+    hdfs = data["hdfs"]
+    hot60 = data["hotspot"][60]
+    hot10 = data["hotspot"][10]
+    assert 1.5 <= hot60 / hdfs <= 4.5   # paper: ~3x
+    assert hot60 < 1.5 * hot10          # adding namenodes barely helps
+    assert hot60 < 0.35 * data["ndb12"][60]

@@ -1,0 +1,53 @@
+"""Figure 8: average operation latency vs number of concurrent clients.
+
+The paper shows HopsFS keeping low latency out to thousands of clients
+while HDFS latency climbs steeply once operations queue behind the
+global lock (inset: at a few hundred clients both are in single-digit
+milliseconds). Reproduced with the two cluster models at 60 NN / 12 NDB
+vs the 5-server HDFS deployment.
+"""
+
+import pytest
+
+from benchmarks.conftest import DURATION, SCALE, print_table
+from repro.perfmodel.hdfs_model import simulate_hdfs
+from repro.perfmodel.hopsfs_model import simulate_hopsfs
+
+CLIENT_SWEEP = (200, 1000, 2000, 4000, 6000)
+
+
+@pytest.fixture(scope="module")
+def figure8(profiles):
+    hopsfs = {}
+    hdfs = {}
+    for clients in CLIENT_SWEEP:
+        hopsfs[clients] = simulate_hopsfs(
+            num_namenodes=60, ndb_nodes=12, clients=clients, scale=SCALE,
+            duration=DURATION, profiles=profiles).mean_latency()
+        hdfs[clients] = simulate_hdfs(
+            clients=clients, duration=DURATION).mean_latency()
+    return hopsfs, hdfs
+
+
+def test_fig8(figure8, capsys, benchmark):
+    hopsfs, hdfs = benchmark.pedantic(lambda: figure8, rounds=1, iterations=1)
+    rows = [[str(c), f"{hopsfs[c] * 1000:.1f}", f"{hdfs[c] * 1000:.1f}"]
+            for c in CLIENT_SWEEP]
+    print_table("Figure 8 — average operation latency (ms) vs clients",
+                ["clients", "HopsFS", "HDFS"], rows, capsys)
+
+    # HDFS latency explodes beyond saturation; HopsFS stays low
+    assert hdfs[6000] > 10 * hdfs[200]
+    assert hopsfs[6000] < 5 * hopsfs[200]
+    assert hopsfs[6000] < hdfs[6000] / 3
+    # both are single-digit ms at low client counts (Figure 8 inset)
+    assert hopsfs[200] < 0.010
+    assert hdfs[200] < 0.010
+
+
+def test_fig8_crossover(figure8, benchmark):
+    """At very low client counts HDFS can be *faster* (in-heap metadata,
+    §7.5) — the crossover the paper describes."""
+    hopsfs, hdfs = benchmark.pedantic(lambda: figure8, rounds=1, iterations=1)
+    assert hdfs[200] < hopsfs[200]
+    assert hopsfs[4000] < hdfs[4000]

@@ -1,0 +1,84 @@
+"""Table 2: HDFS and HopsFS scalability for write-intensive workloads.
+
+Paper rows (HopsFS / HDFS / factor): Spotify 2.7 % writes →
+1.25 M / 78.9 K / 16×; 5 % → 1.19 M / 53.6 K / 22×; 10 % →
+1.04 M / 35.2 K / 30×; 20 % → 0.748 M / 19.9 K / 37×.
+
+Shape requirements: HDFS throughput collapses with the write share (the
+global lock serializes every mutation), HopsFS degrades only mildly, so
+the scaling factor *grows* with the write share. Our HopsFS model is
+somewhat optimistic at 20 % writes (see EXPERIMENTS.md), so the factor
+band asserted is wide.
+"""
+
+import pytest
+
+from benchmarks.conftest import DURATION, SCALE, fmt_ops, print_table
+from repro.perfmodel.hdfs_model import simulate_hdfs
+from repro.perfmodel.hopsfs_model import simulate_hopsfs
+from repro.workload.spec import SPOTIFY_WORKLOAD, write_intensive_workload
+
+PAPER = {
+    "spotify": (1.25e6, 78.9e3, 16),
+    "5%": (1.19e6, 53.6e3, 22),
+    "10%": (1.04e6, 35.2e3, 30),
+    "20%": (0.748e6, 19.9e3, 37),
+}
+
+
+@pytest.fixture(scope="module")
+def table2(profiles):
+    workloads = {
+        "spotify": SPOTIFY_WORKLOAD,
+        "5%": write_intensive_workload(0.05),
+        "10%": write_intensive_workload(0.10),
+        "20%": write_intensive_workload(0.20),
+    }
+    results = {}
+    for label, workload in workloads.items():
+        hopsfs = simulate_hopsfs(num_namenodes=60, ndb_nodes=12,
+                                 clients=12000, scale=SCALE,
+                                 duration=DURATION, workload=workload,
+                                 profiles=profiles).throughput
+        hdfs = simulate_hdfs(clients=2000, duration=DURATION,
+                             workload=workload).throughput
+        results[label] = (hopsfs, hdfs)
+    return results
+
+
+def test_table2(table2, capsys, benchmark):
+    results = benchmark.pedantic(lambda: table2, rounds=1, iterations=1)
+    rows = []
+    for label, (hopsfs, hdfs) in results.items():
+        paper_h, paper_d, paper_f = PAPER[label]
+        rows.append([
+            label, fmt_ops(hopsfs), fmt_ops(paper_h), fmt_ops(hdfs),
+            fmt_ops(paper_d), f"{hopsfs / hdfs:.0f}x", f"{paper_f}x",
+        ])
+    print_table(
+        "Table 2 — scalability for write-intensive workloads",
+        ["workload", "HopsFS", "(paper)", "HDFS", "(paper)", "factor",
+         "(paper)"],
+        rows, capsys)
+
+    factors = [results[k][0] / results[k][1] for k in
+               ("spotify", "5%", "10%", "20%")]
+    hdfs_rates = [results[k][1] for k in ("spotify", "5%", "10%", "20%")]
+    hopsfs_rates = [results[k][0] for k in ("spotify", "5%", "10%", "20%")]
+    # HDFS collapses with write share
+    assert hdfs_rates[0] > hdfs_rates[1] > hdfs_rates[2] > hdfs_rates[3]
+    assert hdfs_rates[0] > 3 * hdfs_rates[3]
+    # HopsFS degrades only mildly
+    assert hopsfs_rates[3] > 0.6 * hopsfs_rates[0]
+    # the scaling factor grows with the write share (the paper's point)
+    assert factors[0] < factors[1] < factors[2] < factors[3]
+    assert 12 <= factors[0] <= 20      # paper: 16x
+    assert factors[3] >= 30            # paper: 37x
+
+
+def test_table2_hdfs_absolute_accuracy(table2, benchmark):
+    """The fitted HDFS station reproduces all four rows within 15 %."""
+    results = benchmark.pedantic(lambda: table2, rounds=1, iterations=1)
+    for label, (paper_h, paper_d, _f) in PAPER.items():
+        measured = results[label][1]
+        assert measured == pytest.approx(paper_d, rel=0.15), label

@@ -1,0 +1,63 @@
+"""Table 3: metadata (namespace) scalability.
+
+Paper rows — files per memory budget: 1 GB → HDFS 2.3 M / HopsFS 0.69 M;
+200 GB → 460 M / 138 M; ≥500 GB → HDFS Does Not Scale; 24 TB → HopsFS
+17 B. Headline: HopsFS stores ≈37× more metadata than HDFS can, while
+needing ≈1.5× the memory of a highly-available HDFS for the same files.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import fmt_ops, print_table
+from repro.perfmodel.memory import MemoryModel
+
+PAPER_ROWS = {
+    "1 GB": (2.3e6, 0.69e6),
+    "50 GB": (115e6, 34.5e6),
+    "100 GB": (230e6, 69e6),
+    "200 GB": (460e6, 138e6),
+    "500 GB": (float("nan"), 346e6),
+    "1 TB": (float("nan"), 708e6),
+    "24 TB": (float("nan"), 17e9),
+}
+
+
+def test_table3(capsys, benchmark):
+    model = MemoryModel()
+    rows = benchmark.pedantic(model.table3, rounds=1, iterations=1)
+    printable = []
+    for row in rows:
+        paper_hdfs, paper_hopsfs = PAPER_ROWS[row["memory"]]
+        printable.append([
+            row["memory"], fmt_ops(row["hdfs_files"]), fmt_ops(paper_hdfs),
+            fmt_ops(row["hopsfs_files"]), fmt_ops(paper_hopsfs),
+        ])
+    print_table("Table 3 — metadata scalability (number of files)",
+                ["memory", "HDFS", "(paper)", "HopsFS", "(paper)"],
+                printable, capsys)
+    by_label = {r["memory"]: r for r in rows}
+    for label, (paper_hdfs, paper_hopsfs) in PAPER_ROWS.items():
+        row = by_label[label]
+        if math.isnan(paper_hdfs):
+            assert math.isnan(row["hdfs_files"]), label
+        else:
+            assert row["hdfs_files"] == pytest.approx(paper_hdfs,
+                                                      rel=0.10), label
+        assert row["hopsfs_files"] == pytest.approx(paper_hopsfs,
+                                                    rel=0.15), label
+
+
+def test_table3_headlines(capsys, benchmark):
+    model = MemoryModel()
+    advantage, ha_ratio = benchmark.pedantic(
+        lambda: (model.capacity_advantage(), model.ha_memory_ratio()),
+        rounds=1, iterations=1)
+    print_table("Table 3 headlines",
+                ["metric", "measured", "paper"],
+                [["capacity advantage", f"{advantage:.0f}x", "37x"],
+                 ["memory vs HA-HDFS", f"{ha_ratio:.2f}x", "~1.5x"]],
+                capsys)
+    assert advantage == pytest.approx(37, rel=0.15)
+    assert ha_ratio == pytest.approx(1.5, rel=0.15)

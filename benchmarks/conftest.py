@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§7), prints the reproduced rows next to the published values
+and asserts the *shape* (who wins, by roughly what factor, where the
+curves bend). Set ``REPRO_BENCH_QUICK=1`` to shrink simulation durations
+for smoke runs.
+"""
+
+import os
+
+import pytest
+
+from repro.perfmodel.profiles import record_hopsfs_profiles
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: simulation durations (seconds of simulated time)
+DURATION = 0.15 if QUICK else 0.4
+SCALE = 0.05
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """Measured per-operation access profiles (see perfmodel.profiles)."""
+    return record_hopsfs_profiles()
+
+
+def fmt_ops(value: float) -> str:
+    if value != value:  # NaN
+        return "Does Not Scale"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f} K"
+    return f"{value:.0f}"
+
+
+def print_table(title: str, headers: list[str], rows: list[list[str]],
+                capsys=None) -> None:
+    """Print an aligned table, bypassing pytest capture when possible."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+
+    def render(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = ["", "=" * len(title), title, "=" * len(title),
+             render(headers), "-" * (sum(widths) + 2 * len(widths))]
+    lines += [render(r) for r in rows]
+    text = "\n".join(lines)
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:
+        print(text)

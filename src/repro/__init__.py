@@ -1,0 +1,23 @@
+"""Reproduction of HopsFS (Niazi et al., USENIX FAST 2017).
+
+Scaling hierarchical file system metadata using NewSQL databases: a
+from-scratch Python implementation of the paper's contribution and every
+substrate it depends on. See README.md for the tour, DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Subpackages:
+
+* :mod:`repro.ndb` — the NewSQL storage engine (NDB-alike)
+* :mod:`repro.dal` — the pluggable data access layer
+* :mod:`repro.hopsfs` — the HopsFS metadata service
+* :mod:`repro.hdfs` — the HDFS active/standby baseline
+* :mod:`repro.workload` — Spotify-trace-style workload synthesis
+* :mod:`repro.sim` / :mod:`repro.perfmodel` — the discrete-event
+  performance models behind the evaluation figures
+* :mod:`repro.analytics` — §9 metadata export and search
+* :mod:`repro.cli` — a command shell over an in-process cluster
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,19 @@
+"""External metadata implications (paper §9).
+
+Because HopsFS metadata lives in a commodity database instead of an
+opaque heap, it can be *queried*, *extended* and *exported*:
+
+* :class:`MetadataExporter` — change-data-capture style replication of
+  the namespace to an external store (the paper replicates to a slave
+  MySQL server / Elasticsearch) without touching the hot path;
+* :class:`NamespaceSearchIndex` — an inverted index over path components
+  and extended attributes enabling sub-second free-text search over the
+  namespace (the paper's Elasticsearch integration);
+* :func:`namespace_dataframe` — ad-hoc online analytics over the
+  metadata (the "administrators write their own tools" use case).
+"""
+
+from repro.analytics.export import ExportedNamespace, MetadataExporter
+from repro.analytics.search import NamespaceSearchIndex
+
+__all__ = ["ExportedNamespace", "MetadataExporter", "NamespaceSearchIndex"]

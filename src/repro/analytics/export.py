@@ -1,0 +1,97 @@
+"""Asynchronous metadata export (paper §9).
+
+The exporter polls the cluster's commit log — the same redo stream NDB
+uses for replication — and applies inode changes to an external replica,
+so analytics never touch the serving path. The replica is eventually
+consistent: exactly the semantics of the paper's MySQL-slave /
+Elasticsearch replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.hopsfs import schema as fs_schema
+from repro.ndb.cluster import NDBCluster
+
+
+@dataclass
+class ExportedNamespace:
+    """External replica of the inode table, keyed by inode id."""
+
+    inodes: dict[int, dict] = field(default_factory=dict)
+    applied_log_entries: int = 0
+
+    def path_of(self, inode_id: int) -> Optional[str]:
+        """Reconstruct an absolute path from the replica."""
+        parts: list[str] = []
+        current = self.inodes.get(inode_id)
+        seen = set()
+        while current is not None:
+            if current["id"] in seen:  # corrupted replica; be safe
+                return None
+            seen.add(current["id"])
+            parts.append(current["name"])
+            parent = current["parent_id"]
+            if parent == fs_schema.ROOT_ID:
+                break
+            current = self.inodes.get(parent)
+            if current is None:
+                return None
+        return "/" + "/".join(reversed(parts))
+
+    def files(self) -> list[dict]:
+        return [row for row in self.inodes.values() if not row["is_dir"]]
+
+    def directories(self) -> list[dict]:
+        return [row for row in self.inodes.values() if row["is_dir"]]
+
+    def total_size(self) -> int:
+        return sum(row["size"] for row in self.files())
+
+    def largest_files(self, n: int = 10) -> list[tuple[str, int]]:
+        ranked = sorted(self.files(), key=lambda r: r["size"], reverse=True)
+        return [(self.path_of(r["id"]) or r["name"], r["size"])
+                for r in ranked[:n]]
+
+    def usage_by_owner(self) -> dict[str, int]:
+        usage: dict[str, int] = {}
+        for row in self.files():
+            usage[row["owner"]] = usage.get(row["owner"], 0) + row["size"]
+        return usage
+
+
+class MetadataExporter:
+    """Incremental change-capture from the database commit log."""
+
+    def __init__(self, cluster: NDBCluster) -> None:
+        self._cluster = cluster
+        self._applied = 0
+        self.replica = ExportedNamespace()
+
+    def sync(self) -> int:
+        """Apply commit-log entries newer than the last sync.
+
+        Returns the number of log records applied. Reads only the shared
+        log (no locks, no transactions on the serving path).
+        """
+        log = self._cluster.commit_log
+        applied = 0
+        for record in log[self._applied:]:
+            for write in record.writes:
+                if write.table != "inodes":
+                    continue
+                if write.after is None:
+                    self.replica.inodes.pop(
+                        self._row_id(write.before), None)
+                else:
+                    self.replica.inodes[write.after["id"]] = dict(write.after)
+            applied += 1
+        self._applied = len(log)
+        self.replica.applied_log_entries += applied
+        return applied
+
+    @staticmethod
+    def _row_id(row: Optional[dict[str, Any]]) -> Optional[int]:
+        return row["id"] if row else None

@@ -1,0 +1,84 @@
+"""Free-text search over the namespace (paper §9).
+
+An inverted index over tokenized path components, owners and extended
+attributes, fed from the exported replica — the role Elasticsearch plays
+in the paper's deployment ("search the entire namespace with sub-second
+latency").
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from repro.analytics.export import ExportedNamespace
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    return _TOKEN.findall(text.lower())
+
+
+class NamespaceSearchIndex:
+    def __init__(self) -> None:
+        self._postings: dict[str, set[int]] = defaultdict(set)
+        self._docs: dict[int, str] = {}
+        self.documents_indexed = 0
+
+    # -- indexing ---------------------------------------------------------------
+
+    def index_replica(self, replica: ExportedNamespace) -> int:
+        """(Re)index every inode of an exported replica."""
+        self._postings.clear()
+        self._docs.clear()
+        self.documents_indexed = 0
+        for inode_id, row in replica.inodes.items():
+            path = replica.path_of(inode_id)
+            if path is None:
+                continue
+            self.add_document(inode_id, path, owner=row["owner"],
+                              extra=[row["group"]])
+        return self.documents_indexed
+
+    def add_document(self, inode_id: int, path: str,
+                     owner: Optional[str] = None,
+                     extra: Optional[Iterable[str]] = None) -> None:
+        self._docs[inode_id] = path
+        tokens = set(tokenize(path))
+        if owner:
+            tokens.update(tokenize(owner))
+        for item in extra or ():
+            tokens.update(tokenize(item))
+        for token in tokens:
+            self._postings[token].add(inode_id)
+        self.documents_indexed += 1
+
+    def remove_document(self, inode_id: int) -> None:
+        path = self._docs.pop(inode_id, None)
+        if path is None:
+            return
+        for token in set(tokenize(path)):
+            self._postings[token].discard(inode_id)
+
+    # -- queries -----------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 50) -> list[str]:
+        """AND query over tokens; returns matching paths."""
+        tokens = tokenize(query)
+        if not tokens:
+            return []
+        candidate_sets = [self._postings.get(t, set()) for t in tokens]
+        if not all(candidate_sets):
+            return []
+        matches = set.intersection(*candidate_sets)
+        return sorted(self._docs[i] for i in matches)[:limit]
+
+    def prefix_search(self, prefix: str, limit: int = 50) -> list[str]:
+        prefix = prefix.lower()
+        hits: set[int] = set()
+        for token, docs in self._postings.items():
+            if token.startswith(prefix):
+                hits.update(docs)
+        return sorted(self._docs[i] for i in hits)[:limit]

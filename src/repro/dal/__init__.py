@@ -1,0 +1,26 @@
+"""Data Access Layer (DAL).
+
+HopsFS namenodes never talk to a database directly: every access goes
+through a DAL driver (paper §3, "similar to JDBC"), which makes the
+storage engine pluggable (§8 mentions MemSQL and SAP Hana as candidates).
+
+Two drivers ship with this reproduction:
+
+* :class:`NDBDriver` — the real thing, backed by :mod:`repro.ndb`;
+* :class:`MemoryDriver` — a trivial single-node engine with the same
+  transactional interface, used to prove pluggability and as an ablation
+  baseline (every table lives on one "shard", so nothing is distribution
+  aware).
+"""
+
+from repro.dal.driver import DALDriver, DALSession, DALTransaction
+from repro.dal.memory_driver import MemoryDriver
+from repro.dal.ndb_driver import NDBDriver
+
+__all__ = [
+    "DALDriver",
+    "DALSession",
+    "DALTransaction",
+    "MemoryDriver",
+    "NDBDriver",
+]

@@ -1,0 +1,94 @@
+"""Abstract DAL driver interface.
+
+The interface is the contract HopsFS code is written against. It is the
+union of what the namenode transaction template needs:
+
+* transactions with partition-key hints (distribution-aware placement);
+* primary-key reads (optionally locked), batched primary-key reads,
+  partition-pruned index scans, index scans, full scans;
+* buffered inserts/updates/deletes flushed at commit;
+* per-session access statistics (:class:`repro.ndb.AccessStats`).
+
+:class:`repro.ndb.transaction.Transaction` satisfies
+:class:`DALTransaction` structurally; :class:`MemoryDriver` provides an
+independent implementation, demonstrating that namenode code really is
+engine agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Mapping, Optional, Protocol, Sequence, TypeVar
+
+from repro.ndb.locks import LockMode
+from repro.ndb.schema import TableSchema
+from repro.ndb.stats import AccessStats
+
+T = TypeVar("T")
+
+
+class DALTransaction(Protocol):
+    """Structural protocol for one transaction."""
+
+    stats: AccessStats
+
+    def read(self, table: str, key: Any, lock: LockMode = ...) -> Optional[dict]: ...
+
+    def read_batch(self, table: str, keys: Sequence[Any],
+                   lock: LockMode = ...) -> list[Optional[dict]]: ...
+
+    def ppis(self, table: str, partition_values: Mapping[str, Any],
+             predicate: Any = ..., lock: LockMode = ...,
+             columns: Optional[Sequence[str]] = ...) -> list[dict]: ...
+
+    def index_scan(self, table: str, index_name: str, values: Sequence[Any],
+                   predicate: Any = ..., lock: LockMode = ...) -> list[dict]: ...
+
+    def full_scan(self, table: str, predicate: Any = ...) -> list[dict]: ...
+
+    def insert(self, table: str, row: Mapping[str, Any]) -> None: ...
+
+    def update(self, table: str, key: Any, changes: Mapping[str, Any]) -> None: ...
+
+    def write(self, table: str, row: Mapping[str, Any]) -> None: ...
+
+    def delete(self, table: str, key: Any, must_exist: bool = ...) -> bool: ...
+
+    def commit(self) -> None: ...
+
+    def abort(self) -> None: ...
+
+
+class DALSession(Protocol):
+    """Structural protocol for a per-client session."""
+
+    stats: AccessStats
+
+    def begin(self, hint: Optional[tuple[str, Mapping[str, Any]]] = ...) -> DALTransaction: ...
+
+    def run(self, fn: Callable[[DALTransaction], T],
+            hint: Optional[tuple[str, Mapping[str, Any]]] = ...,
+            retries: int = ...) -> T: ...
+
+    def reset_stats(self) -> AccessStats: ...
+
+
+class DALDriver(abc.ABC):
+    """Factory for sessions against one storage engine instance."""
+
+    @abc.abstractmethod
+    def create_table(self, schema: TableSchema) -> None:
+        """Create a table; raises if it already exists."""
+
+    @abc.abstractmethod
+    def session(self) -> DALSession:
+        """Open a new session (one per client thread)."""
+
+    @abc.abstractmethod
+    def table_size(self, table: str) -> int:
+        """Committed row count (for tests and admin tooling)."""
+
+    @property
+    @abc.abstractmethod
+    def engine_name(self) -> str:
+        """Human-readable engine identifier."""

@@ -1,0 +1,287 @@
+"""A deliberately simple single-node storage engine.
+
+Purpose: prove that HopsFS namenode code is engine agnostic (it runs
+unmodified against this driver), and act as the "no distribution
+awareness" ablation baseline — the whole database is one shard, every
+transaction serializes on one mutex, and partition-pruned scans degenerate
+to scans of the single shard.
+
+Isolation here is trivially serializable: a global re-entrant mutex is
+held from ``begin`` to ``commit``/``abort``. That is far stronger (and far
+less concurrent) than NDB; correctness-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping, Optional, Sequence, TypeVar
+
+from repro.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    NoSuchTableError,
+    SchemaError,
+    TransactionAbortedError,
+)
+from repro.dal.driver import DALDriver
+from repro.ndb.locks import LockMode
+from repro.ndb.schema import TableSchema
+from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
+
+T = TypeVar("T")
+Predicate = Optional[Callable[[Mapping[str, Any]], bool]]
+
+
+class MemoryDriver(DALDriver):
+    def __init__(self) -> None:
+        self._schemas: dict[str, TableSchema] = {}
+        self._tables: dict[str, dict[tuple[Any, ...], dict[str, Any]]] = {}
+        self._mutex = threading.RLock()
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        self._schemas[schema.name] = schema
+        self._tables[schema.name] = {}
+
+    def schema(self, table: str) -> TableSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise NoSuchTableError(table) from None
+
+    def session(self) -> "MemorySession":
+        return MemorySession(self)
+
+    def table_size(self, table: str) -> int:
+        self.schema(table)
+        with self._mutex:
+            return len(self._tables[table])
+
+    @property
+    def engine_name(self) -> str:
+        return "memory(single-node)"
+
+
+class MemorySession:
+    def __init__(self, driver: MemoryDriver) -> None:
+        self._driver = driver
+        self.stats = AccessStats()
+
+    def begin(self, hint: Optional[tuple[str, Mapping[str, Any]]] = None
+              ) -> "MemoryTransaction":
+        return MemoryTransaction(self._driver)
+
+    def run(self, fn: Callable[["MemoryTransaction"], T],
+            hint: Optional[tuple[str, Mapping[str, Any]]] = None,
+            retries: int = 5) -> T:
+        tx = self.begin(hint)
+        try:
+            result = fn(tx)
+            if tx.active:
+                tx.commit()
+            self.stats.merge(tx.stats)
+            return result
+        except Exception:
+            tx.abort()
+            self.stats.merge(tx.stats)
+            raise
+
+    def reset_stats(self) -> AccessStats:
+        stats, self.stats = self.stats, AccessStats()
+        return stats
+
+
+class MemoryTransaction:
+    """Serializable-by-mutex transaction over the in-process tables."""
+
+    def __init__(self, driver: MemoryDriver) -> None:
+        self._driver = driver
+        self.stats = AccessStats()
+        self.coordinator = 0
+        self._writes: dict[tuple[str, tuple[Any, ...]], tuple[str, Optional[dict]]] = {}
+        self.active = True
+        driver._mutex.acquire()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check(self) -> None:
+        if not self.active:
+            raise TransactionAbortedError("memory tx no longer active")
+
+    def _record(self, kind: AccessKind, table: str, rows: int,
+                locked: bool, write: bool = False) -> None:
+        self.stats.record(
+            AccessEvent(kind=kind, table=table, partitions=(0,), nodes=(0,),
+                        coordinator=0, rows=rows, locked=locked, write=write)
+        )
+
+    def _current(self, table: str, pk: tuple[Any, ...]) -> Optional[dict]:
+        pending = self._writes.get((table, pk))
+        if pending is not None:
+            op, row = pending
+            return dict(row) if row is not None else None
+        row = self._driver._tables[table].get(pk)
+        return dict(row) if row is not None else None
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, table: str, key: Any,
+             lock: LockMode = LockMode.READ_COMMITTED) -> Optional[dict]:
+        self._check()
+        schema = self._driver.schema(table)
+        pk = schema.pk_tuple(key)
+        row = self._current(table, pk)
+        self._record(AccessKind.PK, table, 1 if row else 0,
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return row
+
+    def read_batch(self, table: str, keys: Sequence[Any],
+                   lock: LockMode = LockMode.READ_COMMITTED) -> list[Optional[dict]]:
+        self._check()
+        schema = self._driver.schema(table)
+        rows = [self._current(table, schema.pk_tuple(key)) for key in keys]
+        self._record(AccessKind.BATCH_PK, table,
+                     sum(1 for r in rows if r is not None),
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return rows
+
+    def _scan(self, table: str, predicate: Predicate) -> list[dict]:
+        schema = self._driver.schema(table)
+        merged = {
+            pk: dict(row)
+            for pk, row in self._driver._tables[table].items()
+            if predicate is None or predicate(row)
+        }
+        for (wtable, pk), (op, row) in self._writes.items():
+            if wtable != table:
+                continue
+            if op == "delete":
+                merged.pop(pk, None)
+            elif predicate is None or predicate(row):  # type: ignore[arg-type]
+                merged[pk] = dict(row)  # type: ignore[arg-type]
+            else:
+                merged.pop(pk, None)
+        return list(merged.values())
+
+    def ppis(self, table: str, partition_values: Mapping[str, Any],
+             predicate: Predicate = None,
+             lock: LockMode = LockMode.READ_COMMITTED,
+             columns: Optional[Sequence[str]] = None) -> list[dict]:
+        self._check()
+        schema = self._driver.schema(table)
+        schema.partition_values(partition_values)  # validate coverage
+
+        def matches(row: Mapping[str, Any]) -> bool:
+            if any(row[c] != v for c, v in partition_values.items()):
+                return False
+            return predicate is None or predicate(row)
+
+        rows = self._scan(table, matches)
+        self._record(AccessKind.PPIS, table, len(rows),
+                     locked=lock is not LockMode.READ_COMMITTED)
+        if columns is not None:
+            rows = [{c: row[c] for c in columns} for row in rows]
+        return rows
+
+    def index_scan(self, table: str, index_name: str, values: Sequence[Any],
+                   predicate: Predicate = None,
+                   lock: LockMode = LockMode.READ_COMMITTED) -> list[dict]:
+        self._check()
+        schema = self._driver.schema(table)
+        cols = schema.index_columns(index_name)
+        key = tuple(values)
+
+        def matches(row: Mapping[str, Any]) -> bool:
+            if tuple(row[c] for c in cols) != key:
+                return False
+            return predicate is None or predicate(row)
+
+        rows = self._scan(table, matches)
+        self._record(AccessKind.INDEX_SCAN, table, len(rows),
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return rows
+
+    def full_scan(self, table: str, predicate: Predicate = None) -> list[dict]:
+        self._check()
+        rows = self._scan(table, predicate)
+        self._record(AccessKind.FULL_SCAN, table, len(rows), locked=False)
+        return rows
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(self, table: str, row: Mapping[str, Any]) -> None:
+        self._check()
+        schema = self._driver.schema(table)
+        schema.validate_row(row)
+        pk = schema.pk_of(row)
+        if self._current(table, pk) is not None:
+            raise DuplicateKeyError(f"{table}:{pk}")
+        self._writes[(table, pk)] = ("insert", dict(row))
+
+    def update(self, table: str, key: Any, changes: Mapping[str, Any]) -> None:
+        self._check()
+        schema = self._driver.schema(table)
+        pk = schema.pk_tuple(key)
+        for col in changes:
+            if col in schema.primary_key:
+                raise SchemaError(f"cannot update pk column {col!r}")
+        current = self._current(table, pk)
+        if current is None:
+            raise NoSuchRowError(f"{table}:{pk}")
+        current.update(changes)
+        self._writes[(table, pk)] = ("update", current)
+
+    def write(self, table: str, row: Mapping[str, Any]) -> None:
+        self._check()
+        schema = self._driver.schema(table)
+        schema.validate_row(row)
+        pk = schema.pk_of(row)
+        self._writes[(table, pk)] = ("update", dict(row))
+
+    def delete(self, table: str, key: Any, must_exist: bool = True) -> bool:
+        self._check()
+        schema = self._driver.schema(table)
+        pk = schema.pk_tuple(key)
+        if self._current(table, pk) is None:
+            if must_exist:
+                raise NoSuchRowError(f"{table}:{pk}")
+            return False
+        self._writes[(table, pk)] = ("delete", None)
+        return True
+
+    # -- end -----------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._check()
+        writes = 0
+        for (table, pk), (op, row) in self._writes.items():
+            store = self._driver._tables[table]
+            if op == "delete":
+                store.pop(pk, None)
+            else:
+                store[pk] = dict(row)  # type: ignore[arg-type]
+            writes += 1
+        if writes:
+            self._record(AccessKind.BATCH_PK, "*", writes, locked=False, write=True)
+            self._record(AccessKind.COMMIT, "*", 0, locked=False)
+        self._finish()
+
+    def abort(self) -> None:
+        if not self.active:
+            return
+        self._writes.clear()
+        self._finish()
+
+    def _finish(self) -> None:
+        self.active = False
+        self._driver._mutex.release()
+
+    def __enter__(self) -> "MemoryTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self.active:
+            self.commit()
+        elif self.active:
+            self.abort()

@@ -1,0 +1,149 @@
+"""Exception hierarchy shared across the HopsFS reproduction.
+
+The hierarchy mirrors the layering of the system:
+
+* :class:`ReproError` is the root of everything raised on purpose.
+* Database-level failures (:class:`DatabaseError` and subclasses) are raised
+  by the NDB substrate (:mod:`repro.ndb`) and surfaced through the DAL.
+* File-system-level failures (:class:`FileSystemError` and subclasses) are
+  raised by namenodes (both HopsFS and the HDFS baseline) and carry POSIX-ish
+  semantics that clients may retry or report to applications.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all exceptions deliberately raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Database layer
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the NDB substrate."""
+
+
+class NoSuchTableError(DatabaseError):
+    """A table name does not exist in the cluster schema."""
+
+
+class SchemaError(DatabaseError):
+    """A row violates its table schema (missing column, bad PK, ...)."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """An insert collided with an existing primary key."""
+
+
+class NoSuchRowError(DatabaseError):
+    """A primary-key read required a row that does not exist."""
+
+
+class TransactionError(DatabaseError):
+    """Base class for transaction failures; aborting the tx is required."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was rolled back (explicitly or by the engine)."""
+
+
+class LockTimeoutError(TransactionError):
+    """A row lock could not be acquired within the configured timeout.
+
+    Mirrors NDB's ``TransactionInactiveTimeout``/lock wait timeouts; the
+    caller is expected to abort and retry the whole transaction.
+    """
+
+
+class DeadlockError(TransactionError):
+    """The lock manager detected a wait-for cycle involving this tx."""
+
+
+class NodeFailureError(DatabaseError):
+    """An NDB datanode needed by the operation is not available."""
+
+
+class ClusterDownError(DatabaseError):
+    """An entire node group is dead: the cluster cannot serve requests."""
+
+
+# ---------------------------------------------------------------------------
+# File system layer
+# ---------------------------------------------------------------------------
+
+
+class FileSystemError(ReproError):
+    """Base class for errors raised by namenode operations."""
+
+
+class FileNotFoundError_(FileSystemError):
+    """Path does not exist (named with a trailing underscore to avoid
+    shadowing the builtin while keeping the intent obvious)."""
+
+
+class FileAlreadyExistsError(FileSystemError):
+    """Create/mkdir target already exists."""
+
+
+class ParentNotDirectoryError(FileSystemError):
+    """A non-directory appears as an intermediate path component."""
+
+
+class NotDirectoryError(FileSystemError):
+    """Directory-only operation applied to a file."""
+
+
+class IsDirectoryError_(FileSystemError):
+    """File-only operation applied to a directory."""
+
+
+class DirectoryNotEmptyError(FileSystemError):
+    """Non-recursive delete/rename constraint violated."""
+
+
+class PermissionDeniedError(FileSystemError):
+    """Caller lacks permission for the operation."""
+
+
+class InvalidPathError(FileSystemError):
+    """Path is syntactically invalid."""
+
+
+class QuotaExceededError(FileSystemError):
+    """Namespace or disk-space quota would be violated."""
+
+
+class LeaseConflictError(FileSystemError):
+    """File is under construction by another client."""
+
+
+class LeaseExpiredError(FileSystemError):
+    """Client lease no longer valid (recovered or expired)."""
+
+
+class RetriableError(FileSystemError):
+    """Operation must be retried by the client.
+
+    Raised e.g. when an inode operation encounters a subtree lock, or when a
+    namenode dies mid-operation; HopsFS clients transparently resubmit to
+    another namenode.
+    """
+
+
+class SubtreeLockedError(RetriableError):
+    """Path is inside a subtree currently locked by a subtree operation."""
+
+
+class NameNodeUnavailableError(RetriableError):
+    """The contacted namenode is down or shutting down."""
+
+
+class SafeModeError(RetriableError):
+    """Namenode is in safe mode (e.g. HDFS during failover/startup)."""
+
+
+class StandbyError(RetriableError):
+    """Operation sent to an HDFS standby namenode; retry on the active."""

@@ -1,0 +1,23 @@
+"""The HDFS baseline (paper §2.1, Figure 1 left).
+
+A faithful model of Apache HDFS 2.x high-availability metadata:
+
+* a single **active namenode** holding the whole namespace on its heap
+  behind one global readers-writer lock (single writer, many readers);
+* an **edit log** of metadata mutations replicated to a quorum of
+  **journal nodes**; the global lock is released *before* the quorum
+  flush, trading consistency-under-failover for throughput — exactly the
+  behaviour the paper describes;
+* a **standby namenode** that tails the journal, applies edits to its own
+  namespace replica and takes checkpoints;
+* a ZooKeeper-like **failover coordinator** that detects active-namenode
+  death and promotes the standby (8–10 s of measured downtime in the
+  paper; our functional model exposes the same phases);
+* the same datanode implementation as HopsFS — the paper's change is
+  confined to the metadata layer.
+"""
+
+from repro.hdfs.cluster import HDFSCluster
+from repro.hdfs.client import HDFSClient
+
+__all__ = ["HDFSCluster", "HDFSClient"]

@@ -1,0 +1,28 @@
+"""HopsFS: HDFS-compatible metadata service over a NewSQL database.
+
+The package implements the paper's contribution (§3–§6):
+
+* stateless namenodes operating on metadata stored through the DAL;
+* the normalized entity-relation model (inodes, blocks, replicas and the
+  block life-cycle tables URB/PRB/CR/RUC/ER/Inv, leases, quotas);
+* metadata partitioning: inodes by parent id, file metadata by inode id,
+  pseudo-random partitioning of the top levels to remove hotspots;
+* the inode hint cache (path resolution in one batched read);
+* the three-phase transaction template (lock → execute → update) with
+  row locks in a deadlock-free total order;
+* the subtree operations protocol for operations too large for one
+  transaction, with failure-tolerant cleanup;
+* leader election using the database as shared memory, block reports,
+  a replication manager and lease management.
+"""
+
+from repro.hopsfs.cluster import HopsFSCluster
+from repro.hopsfs.config import HopsFSConfig
+from repro.hopsfs.client import DFSClient, NamenodeSelectionPolicy
+
+__all__ = [
+    "DFSClient",
+    "HopsFSCluster",
+    "HopsFSConfig",
+    "NamenodeSelectionPolicy",
+]

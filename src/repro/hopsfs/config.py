@@ -1,0 +1,55 @@
+"""HopsFS configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.clock import Clock, SystemClock
+
+
+@dataclass
+class HopsFSConfig:
+    """Behaviour knobs for a HopsFS deployment.
+
+    Paper-sourced defaults: the top two levels of the hierarchy are
+    pseudo-randomly partitioned (§4.2.1); subtree operations manipulate
+    large batches of inodes per transaction (§6.1 phase 3); leases and
+    leader heartbeats follow HDFS-like timing.
+    """
+
+    #: inodes at depth <= this are pseudo-randomly partitioned by name
+    #: hash instead of by parent id (depth 1 = children of root). 0
+    #: disables the scheme entirely (ablation).
+    random_partition_depth: int = 2
+    #: default replication factor for new files
+    default_replication: int = 3
+    #: block size in bytes (only matters for block allocation accounting)
+    block_size: int = 128 * 1024 * 1024
+    #: inodes deleted/updated per transaction in subtree operations
+    subtree_batch_size: int = 64
+    #: worker threads quiescing / executing subtree operations in parallel
+    subtree_parallelism: int = 4
+    #: how many inode ids a namenode leases from the sequence table at once
+    id_batch_size: int = 1000
+    #: seconds without renewal before a lease may be recovered
+    lease_timeout: float = 60.0
+    #: seconds between namenode heartbeats (leader election rounds)
+    nn_heartbeat_interval: float = 1.0
+    #: heartbeats a namenode may miss before being declared dead
+    nn_missed_heartbeats: int = 2
+    #: seconds without heartbeat before a datanode is declared dead
+    dn_heartbeat_timeout: float = 10.0
+    #: clock used for leases, heartbeats and leader election
+    clock: Clock = field(default_factory=SystemClock)
+
+    def __post_init__(self) -> None:
+        if self.random_partition_depth < 0:
+            raise ValueError("random_partition_depth must be >= 0")
+        if self.default_replication < 1:
+            raise ValueError("default_replication must be >= 1")
+        if self.subtree_batch_size < 1:
+            raise ValueError("subtree_batch_size must be >= 1")
+        if self.subtree_parallelism < 1:
+            raise ValueError("subtree_parallelism must be >= 1")
+        if self.id_batch_size < 1:
+            raise ValueError("id_batch_size must be >= 1")

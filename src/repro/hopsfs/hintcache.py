@@ -1,0 +1,88 @@
+"""The inode hint cache (paper §5.1).
+
+Each namenode caches only the *primary keys* of inodes:
+``(parent_id, name) → (inode_id, part_key, is_dir)``. Given a path whose
+components all hit the cache, the namenode can issue a **single batched
+primary-key read** for every component instead of N sequential round
+trips. Entries go stale only when a move changes an inode's primary key
+(< 2 % of typical workloads, Table 1); a stale entry makes the batched
+read miss, path resolution falls back to the recursive method and repairs
+the cache.
+
+The cache is a bounded LRU; thread safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+
+class InodeHint:
+    """Cached primary-key information for one inode.
+
+    ``children_random`` mirrors the inode's persistent child-partitioning
+    rule so the partition key of a yet-uncached child can be computed
+    without a database read.
+    """
+
+    __slots__ = ("inode_id", "part_key", "is_dir", "children_random")
+
+    def __init__(self, inode_id: int, part_key: int, is_dir: bool,
+                 children_random: bool = False) -> None:
+        self.inode_id = inode_id
+        self.part_key = part_key
+        self.is_dir = is_dir
+        self.children_random = children_random
+
+
+class InodeHintCache:
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[int, str], InodeHint] = OrderedDict()
+        self._mutex = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, parent_id: int, name: str) -> Optional[InodeHint]:
+        key = (parent_id, name)
+        with self._mutex:
+            hint = self._entries.get(key)
+            if hint is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return hint
+
+    def put(self, parent_id: int, name: str, inode_id: int, part_key: int,
+            is_dir: bool, children_random: bool = False) -> None:
+        key = (parent_id, name)
+        with self._mutex:
+            self._entries[key] = InodeHint(inode_id, part_key, is_dir,
+                                           children_random)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, parent_id: int, name: str) -> None:
+        with self._mutex:
+            if self._entries.pop((parent_id, name), None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

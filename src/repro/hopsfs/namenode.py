@@ -1,0 +1,193 @@
+"""The stateless HopsFS namenode.
+
+A namenode owns no authoritative state: everything lives in the database.
+What it *does* own is soft state that can be rebuilt at any time — the
+inode hint cache, leased id ranges, the leader-election observations and
+the in-memory datanode liveness map — which is why any number of
+namenodes can serve any request and why killing one loses nothing
+(paper §3, §7.6.1).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    DuplicateKeyError,
+    NameNodeUnavailableError,
+    TransactionAbortedError,
+)
+from repro.dal.driver import DALDriver, DALTransaction
+from repro.hopsfs.config import HopsFSConfig
+from repro.hopsfs.hintcache import InodeHintCache
+from repro.hopsfs.leader import LeaderElection
+from repro.hopsfs.ops_inode import InodeOpsMixin
+from repro.hopsfs.ops_subtree import SubtreeOpsMixin
+from repro.hopsfs.tx import IdAllocator, PathResolver, StaleSubtreeLockError
+from repro.hopsfs import schema as fs_schema
+from repro.ndb.locks import LockMode
+from repro.ndb.stats import AccessStats
+from repro.util.stats import Counter
+
+
+class NameNode(InodeOpsMixin, SubtreeOpsMixin):
+    """One HopsFS namenode process."""
+
+    def __init__(self, driver: DALDriver, config: HopsFSConfig,
+                 nn_id: int, location: str = "") -> None:
+        self.driver = driver
+        self.config = config
+        self.clock = config.clock
+        self.nn_id = nn_id
+        self.location = location or f"namenode-{nn_id}"
+        self.alive = True
+        self.hint_cache = InodeHintCache()
+        self.leader_election = LeaderElection(
+            driver.session(), nn_id, self.location,
+            missed_heartbeats=config.nn_missed_heartbeats)
+        self.resolver = PathResolver(
+            self.hint_cache, config.random_partition_depth,
+            is_namenode_dead=self._is_namenode_dead)
+        self.id_alloc = IdAllocator(driver.session(), "inodes",
+                                    batch=config.id_batch_size)
+        self.block_alloc = IdAllocator(driver.session(), "blocks",
+                                       batch=config.id_batch_size)
+        self.gen_stamp_alloc = IdAllocator(driver.session(), "genstamps",
+                                           batch=config.id_batch_size)
+        self._rng = random.Random(nn_id)
+        self.stats = AccessStats(keep_events=False)
+        self.op_count = Counter()
+        self._stats_mutex = threading.Lock()
+        #: dn_id -> last heartbeat timestamp (soft state from heartbeats)
+        self._dn_heartbeats: dict[int, float] = {}
+        #: datanodes being drained: no new replicas are placed on them
+        self.decommissioning: set[int] = set()
+        #: test hooks: tag -> callable, invoked at subtree-protocol stages
+        self.failpoints: dict[str, Callable[[], None]] = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        self.leader_election.register()
+        self.leader_election.heartbeat()
+
+    def stop(self) -> None:
+        """Graceful shutdown."""
+        if self.alive:
+            self.leader_election.deregister()
+        self.alive = False
+
+    def kill(self) -> None:
+        """Simulated crash: no deregistration, no cleanup."""
+        self.alive = False
+
+    def heartbeat(self) -> None:
+        """One leader-election round (driven by the cluster harness)."""
+        if self.alive:
+            self.leader_election.heartbeat()
+
+    def is_leader(self) -> bool:
+        return self.alive and self.leader_election.is_leader()
+
+    # -- operation wrapper -------------------------------------------------------------
+
+    def _fs_op(self, op_name: str, fn: Callable[[DALTransaction], Any],
+               hint: Optional[tuple[str, dict]] = None,
+               retry_duplicates: bool = False) -> Any:
+        """Run one file system operation with the standard retry policy.
+
+        * stale subtree locks are lazily cleared and the op retried (§6.2);
+        * with ``retry_duplicates``, duplicate-key races (two namenodes
+          creating the same path component) retry so idempotent operations
+          like ``mkdirs`` converge;
+        * lock conflicts retry inside :meth:`DALSession.run` already.
+        """
+        if not self.alive:
+            raise NameNodeUnavailableError(f"namenode {self.nn_id} is down")
+        last_exc: Exception = TransactionAbortedError("no attempts")
+        for _attempt in range(8):
+            if not self.alive:
+                raise NameNodeUnavailableError(
+                    f"namenode {self.nn_id} is down")
+            session = self.driver.session()
+            try:
+                result = session.run(fn, hint=hint)
+                self._merge_stats(op_name, session.stats)
+                return result
+            except StaleSubtreeLockError as exc:
+                self._merge_stats(op_name, session.stats)
+                self._clear_stale_subtree_lock(exc)
+                last_exc = exc
+            except DuplicateKeyError as exc:
+                self._merge_stats(op_name, session.stats)
+                if not retry_duplicates:
+                    raise
+                last_exc = exc
+            except Exception:
+                self._merge_stats(op_name, session.stats)
+                raise
+        raise last_exc
+
+    def _merge_stats(self, op_name: str, stats: AccessStats) -> None:
+        with self._stats_mutex:
+            self.stats.merge(stats)
+            self.op_count.add(op_name)
+
+    def _clear_stale_subtree_lock(self, exc: StaleSubtreeLockError) -> None:
+        """Lazy reclamation of a dead namenode's subtree lock (§6.2)."""
+        session = self.driver.session()
+
+        def fn(tx: DALTransaction) -> None:
+            row = tx.read("inodes", exc.inode_pk, lock=LockMode.EXCLUSIVE)
+            if row is None:
+                return
+            if row["subtree_lock_owner"] != exc.owner:
+                return  # someone else already reclaimed or re-locked it
+            if not self._is_namenode_dead(exc.owner):
+                return  # the owner came back into view; leave it alone
+            tx.update("inodes", exc.inode_pk,
+                      {"subtree_lock_owner": fs_schema.NO_LOCK,
+                       "subtree_op": None})
+            tx.delete("active_subtree_ops", (row["id"],), must_exist=False)
+
+        session.run(fn, hint=("inodes", {"part_key": exc.inode_pk[0]}))
+        self._merge_stats("reclaim_subtree_lock", session.stats)
+
+    # -- membership helpers -------------------------------------------------------------
+
+    def _is_namenode_dead(self, nn_id: int) -> bool:
+        return self.leader_election.is_dead(nn_id)
+
+    def alive_namenode_ids(self) -> set[int]:
+        return self.leader_election.alive_ids()
+
+    # -- datanode soft state -------------------------------------------------------------
+
+    def datanode_heartbeat(self, dn_id: int) -> None:
+        self._dn_heartbeats[dn_id] = self.clock.now()
+
+    def alive_datanode_ids(self, include_decommissioning: bool = True
+                           ) -> list[int]:
+        deadline = self.clock.now() - self.config.dn_heartbeat_timeout
+        alive = sorted(dn_id for dn_id, t in self._dn_heartbeats.items()
+                       if t >= deadline)
+        if include_decommissioning:
+            return alive
+        return [dn for dn in alive if dn not in self.decommissioning]
+
+    def forget_datanode(self, dn_id: int) -> None:
+        self._dn_heartbeats.pop(dn_id, None)
+
+    # -- test hooks ---------------------------------------------------------------------
+
+    def _subtree_failpoint(self, tag: str) -> None:
+        hook = self.failpoints.get(tag)
+        if hook is not None:
+            hook()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        leader = " leader" if self.alive and self.is_leader() else ""
+        return f"NameNode(id={self.nn_id}, {state}{leader})"

@@ -1,0 +1,369 @@
+"""Subtree operations protocol (paper §6).
+
+Operations on directories with an unbounded number of descendants cannot
+run in one database transaction. HopsFS instead:
+
+* **Phase 1** — exclusively locks the subtree root, verifies (via the
+  ``active_subtree_ops`` table) that no subtree operation is active at a
+  lower level, then sets a persistent *subtree lock flag* carrying this
+  namenode's id. Inode and subtree operations that later resolve a path
+  through the flagged inode voluntarily abort and retry (§6.3); flags
+  owned by dead namenodes are lazily reclaimed (§6.2).
+* **Phase 2** — quiesces the subtree: level by level, worker threads take
+  (and, by committing, release) exclusive locks on every descendant with
+  partition-pruned scans, in the same total order as inode operations,
+  waiting out any in-flight transactions. The scan projects only the
+  columns needed to build an in-memory tree of the subtree.
+* **Phase 3** — the actual operation:
+  - *delete* runs bottom-up in parallel batched transactions, so a
+    namenode crash mid-way never orphans inodes (the undeleted remainder
+    is still connected to the namespace and a re-submitted delete
+    finishes the job — stronger semantics than HDFS, §6.1);
+  - *move*, *chmod*, *chown* and *set-quota* update only the subtree root
+    in one small transaction, leaving inner inodes intact (§6.2).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileNotFoundError_,
+    NotDirectoryError,
+    PermissionDeniedError,
+    SubtreeLockedError,
+)
+from repro.dal.driver import DALTransaction
+from repro.hopsfs import blocks as blk
+from repro.hopsfs import quota as quota_mod
+from repro.hopsfs import schema as fs_schema
+from repro.hopsfs.paths import is_same_or_ancestor, split_path
+from repro.ndb.locks import LockMode
+
+
+@dataclass
+class SubtreeNode:
+    """One inode of the in-memory tree built while quiescing (§6.1)."""
+
+    part_key: int
+    parent_id: int
+    name: str
+    id: int
+    is_dir: bool
+    size: int
+    replication: int
+    level: int
+    children_random: bool = False
+    children: list["SubtreeNode"] = field(default_factory=list)
+
+    @property
+    def pk(self) -> tuple:
+        return (self.part_key, self.parent_id, self.name)
+
+
+@dataclass
+class SubtreeContext:
+    path: str
+    op: str
+    root_row: dict
+    tree: Optional[SubtreeNode] = None
+
+
+class SubtreeOpsMixin:
+    """Subtree operations mixed into :class:`repro.hopsfs.namenode.NameNode`."""
+
+    # ------------------------------------------------------------- public ops
+
+    def delete_subtree(self, path: str) -> bool:
+        """Recursive delete of a non-empty directory."""
+        ctx = self._subtree_begin(path, "delete")
+        try:
+            self._subtree_quiesce(ctx)
+            self._subtree_delete_phase3(ctx)
+            return True
+        except Exception:
+            self._subtree_release(ctx)
+            raise
+
+    def move_subtree(self, src: str, dst: str) -> bool:
+        """Move of a non-empty directory."""
+        ctx = self._subtree_begin(src, "move")
+        try:
+            self._subtree_quiesce(ctx)
+
+            def fn(tx: DALTransaction):
+                result = self._rename_in_tx(tx, src, dst,
+                                            subtree_root_id=ctx.root_row["id"])
+                tx.delete("active_subtree_ops", (ctx.root_row["id"],),
+                          must_exist=False)
+                return result
+
+            self._fs_op("move_subtree", fn, hint=self._hint_for_parent(src))
+            return True
+        except Exception:
+            self._subtree_release(ctx)
+            raise
+
+    def chmod_subtree(self, path: str, perm: int) -> None:
+        """chmod of a non-empty directory (updates the root inode only)."""
+        self._subtree_root_update(path, "chmod", {"perm": perm})
+
+    def chown_subtree(self, path: str, owner: str, group: str) -> None:
+        """chown of a non-empty directory (updates the root inode only)."""
+        self._subtree_root_update(path, "chown", {"owner": owner,
+                                                  "group": group})
+
+    def set_quota(self, path: str, ns_quota: Optional[int],
+                  ds_quota: Optional[int]) -> None:
+        """Set (or clear) quotas on a directory.
+
+        Requires a subtree traversal to compute the directory's current
+        usage, so it runs under the subtree protocol even though phase 3
+        only writes the quota row and the root inode.
+        """
+        ctx = self._subtree_begin(path, "set_quota", allow_empty=True)
+        try:
+            self._subtree_quiesce(ctx)
+            ns_used, ds_used = _tree_usage(ctx.tree)
+
+            def fn(tx: DALTransaction) -> None:
+                quota_mod.set_quota_row(tx, ctx.root_row["id"], ns_quota,
+                                        ds_quota, ns_used, ds_used)
+                self._subtree_clear_in_tx(tx, ctx)
+
+            self._fs_op("set_quota", fn, hint=self._hint_for_parent(path))
+        except Exception:
+            self._subtree_release(ctx)
+            raise
+
+    # ------------------------------------------------------------- phase 1
+
+    def _subtree_begin(self, path: str, op: str,
+                       allow_empty: bool = True) -> SubtreeContext:
+        """Phase 1: set the subtree lock flag on the root of the subtree."""
+        if not split_path(path):
+            raise PermissionDeniedError(f"cannot run {op} on the root")
+
+        def fn(tx: DALTransaction) -> dict:
+            resolved = self.resolver.resolve(tx, path,
+                                             lock_last=LockMode.EXCLUSIVE)
+            row = resolved.last
+            if row is None:
+                raise FileNotFoundError_(path)
+            if not row["is_dir"]:
+                raise NotDirectoryError(path)
+            # no active subtree operation may overlap this subtree (§6.1)
+            for active in tx.full_scan("active_subtree_ops"):
+                if (is_same_or_ancestor(path, active["path"])
+                        or is_same_or_ancestor(active["path"], path)):
+                    if not self._is_namenode_dead(active["nn_id"]):
+                        raise SubtreeLockedError(
+                            f"subtree op {active['op']} active on "
+                            f"{active['path']}")
+                    # stale entry of a dead namenode: reclaim it
+                    tx.delete("active_subtree_ops", (active["inode_id"],),
+                              must_exist=False)
+            pk = (row["part_key"], row["parent_id"], row["name"])
+            tx.update("inodes", pk, {"subtree_lock_owner": self.nn_id,
+                                     "subtree_op": op})
+            tx.insert("active_subtree_ops",
+                      {"inode_id": row["id"], "nn_id": self.nn_id, "op": op,
+                       "path": path})
+            row = dict(row)
+            row["subtree_lock_owner"] = self.nn_id
+            row["subtree_op"] = op
+            return row
+
+        root = self._fs_op(f"{op}_subtree_lock", fn,
+                           hint=self._hint_for_parent(path))
+        return SubtreeContext(path=path, op=op, root_row=root)
+
+    # ------------------------------------------------------------- phase 2
+
+    def _subtree_quiesce(self, ctx: SubtreeContext) -> None:
+        """Phase 2: write-lock (and release) every descendant, level by
+        level, building the in-memory subtree tree."""
+        root = ctx.root_row
+        ctx.tree = SubtreeNode(
+            part_key=root["part_key"], parent_id=root["parent_id"],
+            name=root["name"], id=root["id"], is_dir=True,
+            size=root["size"], replication=root["replication"], level=0,
+            children_random=root["children_random"])
+        frontier = [ctx.tree]
+        with ThreadPoolExecutor(
+                max_workers=self.config.subtree_parallelism) as pool:
+            while frontier:
+                futures = [
+                    pool.submit(self._quiesce_directory, node)
+                    for node in frontier
+                ]
+                next_frontier: list[SubtreeNode] = []
+                for node, future in zip(frontier, futures):
+                    children = future.result()
+                    node.children = children
+                    next_frontier.extend(c for c in children if c.is_dir)
+                frontier = next_frontier
+        self._subtree_failpoint("after_quiesce")
+
+    def _quiesce_directory(self, node: SubtreeNode) -> list[SubtreeNode]:
+        """Write-lock the children of one directory; the commit releases
+        the locks, which is exactly the 'take and release' of §6.1."""
+
+        def fn(tx: DALTransaction) -> list[dict]:
+            dir_like = {"id": node.id, "children_random": node.children_random}
+            return self._list_children(tx, dir_like, columns=None,
+                                       lock=LockMode.EXCLUSIVE)
+
+        rows = self._fs_op("subtree_quiesce", fn,
+                           hint=("inodes", {"part_key": node.id}))
+        return [
+            SubtreeNode(part_key=r["part_key"], parent_id=r["parent_id"],
+                        name=r["name"], id=r["id"], is_dir=r["is_dir"],
+                        size=r["size"], replication=r["replication"],
+                        level=node.level + 1,
+                        children_random=r["children_random"])
+            for r in rows
+        ]
+
+    # ------------------------------------------------------------- phase 3
+
+    def _subtree_delete_phase3(self, ctx: SubtreeContext) -> None:
+        """Bottom-up batched parallel delete (Figure 5)."""
+        assert ctx.tree is not None
+        by_level: dict[int, list[SubtreeNode]] = {}
+        stack = [ctx.tree]
+        while stack:
+            node = stack.pop()
+            by_level.setdefault(node.level, []).append(node)
+            stack.extend(node.children)
+        total_ns = sum(len(nodes) for nodes in by_level.values())
+        total_ds = sum(n.size * max(1, n.replication)
+                       for nodes in by_level.values() for n in nodes
+                       if not n.is_dir)
+        batch = self.config.subtree_batch_size
+        with ThreadPoolExecutor(
+                max_workers=self.config.subtree_parallelism) as pool:
+            for level in sorted(by_level, reverse=True):
+                if level == 0:
+                    continue  # the root is deleted last, below
+                nodes = by_level[level]
+                futures = [
+                    pool.submit(self._delete_batch, nodes[i: i + batch])
+                    for i in range(0, len(nodes), batch)
+                ]
+                for future in futures:
+                    future.result()
+                self._subtree_failpoint(f"after_delete_level_{level}")
+        # final transaction: remove the root, settle quota, drop the op row
+        root = ctx.root_row
+        parent = "/" + "/".join(split_path(ctx.path)[:-1])
+
+        def fn(tx: DALTransaction) -> None:
+            resolved = self.resolver.resolve(
+                tx, ctx.path, lock_last=LockMode.EXCLUSIVE,
+                lock_parent=LockMode.EXCLUSIVE, check_subtree_locks=False)
+            row = resolved.last
+            if row is not None and row["id"] == root["id"]:
+                tx.delete("quotas", (row["id"],), must_exist=False)
+                self._delete_xattrs(tx, row["id"])
+                tx.delete("inodes",
+                          (row["part_key"], row["parent_id"], row["name"]))
+                quota_mod.enforce_and_queue(
+                    tx, self._ancestor_ids(
+                        resolved, upto=len(resolved.components) - 1),
+                    ns_delta=-total_ns, ds_delta=-total_ds,
+                    nn_id=self.nn_id)
+                if resolved.parent is not None:
+                    self._touch_parent(tx, resolved.parent)
+                self.hint_cache.invalidate(row["parent_id"], row["name"])
+            tx.delete("active_subtree_ops", (root["id"],), must_exist=False)
+
+        self._fs_op("delete_subtree_root", fn,
+                    hint=self._hint_for_parent(parent if parent != "/" else ctx.path))
+
+    def _delete_batch(self, nodes: list[SubtreeNode]) -> None:
+        """Delete a batch of already-quiesced inodes in one transaction."""
+
+        def fn(tx: DALTransaction) -> None:
+            for node in nodes:
+                if not node.is_dir:
+                    blk.remove_file_blocks(tx, node.id)
+                    tx.delete("leases", (node.id,), must_exist=False)
+                else:
+                    tx.delete("quotas", (node.id,), must_exist=False)
+                self._delete_xattrs(tx, node.id)
+                tx.delete("inodes", node.pk, must_exist=False)
+                self.hint_cache.invalidate(node.parent_id, node.name)
+
+        self._fs_op("subtree_delete_batch", fn)
+
+    def _subtree_root_update(self, path: str, op: str, changes: dict) -> None:
+        """Shared phase-3 body for chmod/chown: update the root row only."""
+        ctx = self._subtree_begin(path, op)
+        try:
+            self._subtree_quiesce(ctx)
+
+            def fn(tx: DALTransaction) -> None:
+                row = tx.read("inodes", tuple(ctx.root_row[c] for c in
+                                              ("part_key", "parent_id", "name")),
+                              lock=LockMode.EXCLUSIVE)
+                if row is not None and row["id"] == ctx.root_row["id"]:
+                    tx.update("inodes",
+                              (row["part_key"], row["parent_id"], row["name"]),
+                              changes)
+                self._subtree_clear_in_tx(tx, ctx, row)
+
+            self._fs_op(f"{op}_subtree", fn, hint=self._hint_for_parent(path))
+        except Exception:
+            self._subtree_release(ctx)
+            raise
+
+    # ------------------------------------------------------------- cleanup
+
+    def _subtree_clear_in_tx(self, tx: DALTransaction, ctx: SubtreeContext,
+                             row: Optional[dict] = None) -> None:
+        """Clear the lock flag and the active-op row inside a transaction."""
+        if row is None:
+            row = tx.read("inodes", tuple(ctx.root_row[c] for c in
+                                          ("part_key", "parent_id", "name")),
+                          lock=LockMode.EXCLUSIVE)
+        if row is not None and row["id"] == ctx.root_row["id"]:
+            tx.update("inodes", (row["part_key"], row["parent_id"], row["name"]),
+                      {"subtree_lock_owner": fs_schema.NO_LOCK,
+                       "subtree_op": None})
+        tx.delete("active_subtree_ops", (ctx.root_row["id"],),
+                  must_exist=False)
+
+    def _subtree_release(self, ctx: SubtreeContext) -> None:
+        """Best-effort unlock after a failed subtree operation.
+
+        If the namenode dies before this runs, the flag stays set and is
+        lazily reclaimed by other namenodes (§6.2) — tested explicitly.
+        """
+        try:
+            def fn(tx: DALTransaction) -> None:
+                self._subtree_clear_in_tx(tx, ctx)
+
+            self._fs_op("subtree_release", fn,
+                        hint=self._hint_for_parent(ctx.path))
+        except Exception:
+            pass  # the lazy reclaim path owns cleanup from here
+
+
+def _tree_usage(tree: Optional[SubtreeNode]) -> tuple[int, int]:
+    """(namespace items, disk space) consumed by a quiesced subtree."""
+    if tree is None:
+        return 1, 0
+    ns = 0
+    ds = 0
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        ns += 1
+        if not node.is_dir:
+            ds += node.size * max(1, node.replication)
+        stack.extend(node.children)
+    return ns, ds

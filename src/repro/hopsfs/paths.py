@@ -1,0 +1,60 @@
+"""Path parsing and validation shared by HopsFS and the HDFS baseline."""
+
+from __future__ import annotations
+
+from repro.errors import InvalidPathError
+
+SEPARATOR = "/"
+_FORBIDDEN = {"", ".", ".."}
+
+
+def validate_component(name: str) -> None:
+    if name in _FORBIDDEN:
+        raise InvalidPathError(f"invalid path component {name!r}")
+    if SEPARATOR in name:
+        raise InvalidPathError(f"path component {name!r} contains '/'")
+
+
+def split_path(path: str) -> list[str]:
+    """Split an absolute path into components; '/' -> []."""
+    if not path or not path.startswith(SEPARATOR):
+        raise InvalidPathError(f"path must be absolute: {path!r}")
+    components = [c for c in path.split(SEPARATOR) if c]
+    for comp in components:
+        validate_component(comp)
+    return components
+
+
+def join_path(components: list[str]) -> str:
+    return SEPARATOR + SEPARATOR.join(components)
+
+
+def normalize(path: str) -> str:
+    return join_path(split_path(path))
+
+
+def parent_path(path: str) -> str:
+    components = split_path(path)
+    if not components:
+        raise InvalidPathError("root has no parent")
+    return join_path(components[:-1])
+
+
+def basename(path: str) -> str:
+    components = split_path(path)
+    if not components:
+        raise InvalidPathError("root has no name")
+    return components[-1]
+
+
+def is_ancestor(ancestor: str, path: str) -> bool:
+    """True if ``ancestor`` is a proper ancestor of ``path``."""
+    a = split_path(ancestor)
+    p = split_path(path)
+    return len(a) < len(p) and p[: len(a)] == a
+
+
+def is_same_or_ancestor(ancestor: str, path: str) -> bool:
+    a = split_path(ancestor)
+    p = split_path(path)
+    return len(a) <= len(p) and p[: len(a)] == a

@@ -1,0 +1,369 @@
+"""The HopsFS transaction template (paper §5, Figure 4).
+
+Every inode operation is one DAL transaction with three phases:
+
+1. **Lock phase** — primary keys for the path components come from the
+   inode hint cache; one *batched* primary-key read fetches every
+   component up to the penultimate one at read-committed (no locks). On a
+   cache miss or stale hint the resolver falls back to component-by-
+   component reads and repairs the cache. The last component (and, for
+   mutating/listing operations, its parent) is then read with the
+   strongest lock the operation will need — never upgraded later — in
+   root-down order, which is the global total order that keeps lock
+   acquisition deadlock free. File-inode related rows are read with
+   partition-pruned index scans in a fixed table order.
+2. **Execute phase** — pure computation on the rows (the per-transaction
+   cache: rows are plain dicts held by the operation; the DAL transaction
+   additionally buffers writes and serves read-your-writes).
+3. **Update phase** — buffered changes flush to the database in batches
+   at commit.
+
+Subtree-lock flags encountered during resolution abort the transaction:
+live owners cause :class:`SubtreeLockedError` (the client retries), dead
+owners cause :class:`StaleSubtreeLockError` (the namenode lazily clears
+the flag and retries, §6.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import (
+    FileSystemError,
+    ParentNotDirectoryError,
+    SubtreeLockedError,
+)
+from repro.dal.driver import DALSession, DALTransaction
+from repro.hopsfs import schema as fs_schema
+from repro.hopsfs.hintcache import InodeHintCache
+from repro.hopsfs.paths import join_path, split_path
+from repro.ndb.locks import LockMode
+
+
+class StaleSubtreeLockError(FileSystemError):
+    """A subtree lock owned by a dead namenode was encountered.
+
+    Internal control flow: the namenode clears the flag (lazy cleanup)
+    and retries the operation; clients never see this error.
+    """
+
+    def __init__(self, inode_pk: tuple, owner: int) -> None:
+        super().__init__(f"stale subtree lock owned by dead namenode {owner}")
+        self.inode_pk = inode_pk
+        self.owner = owner
+
+
+def root_row(children_random: bool = True) -> dict:
+    """The immutable root inode, cached at every namenode (§4.2.1)."""
+    return {
+        "part_key": fs_schema.ROOT_PART_KEY,
+        "parent_id": 0,
+        "name": "",
+        "id": fs_schema.ROOT_ID,
+        "is_dir": True,
+        "perm": 0o755,
+        "owner": "hdfs",
+        "group": "hdfs",
+        "mtime": 0.0,
+        "atime": 0.0,
+        "size": 0,
+        "replication": 0,
+        "under_construction": False,
+        "client": None,
+        "subtree_lock_owner": fs_schema.NO_LOCK,
+        "subtree_op": None,
+        "depth": 0,
+        "children_random": children_random,
+    }
+
+
+@dataclass
+class ResolvedPath:
+    """Result of resolving a path inside a transaction.
+
+    ``rows[i]`` is the inode row of ``components[i]`` (depth ``i+1``) or
+    None once the path stops existing; the implicit root is not included
+    (it is available as :attr:`root`).
+    """
+
+    path: str
+    components: list[str]
+    rows: list[Optional[dict]] = field(default_factory=list)
+    root: dict = field(default_factory=root_row)
+
+    @property
+    def exists(self) -> bool:
+        return all(row is not None for row in self.rows) and (
+            len(self.rows) == len(self.components)
+        )
+
+    @property
+    def last(self) -> Optional[dict]:
+        if not self.components:
+            return self.root
+        if len(self.rows) == len(self.components):
+            return self.rows[-1]
+        return None
+
+    @property
+    def parent(self) -> Optional[dict]:
+        """Row of the penultimate component (root row for depth-1 paths)."""
+        if len(self.components) <= 1:
+            return self.root
+        if len(self.rows) >= len(self.components) - 1 and all(
+            row is not None for row in self.rows[: len(self.components) - 1]
+        ):
+            return self.rows[len(self.components) - 2]
+        return None
+
+    @property
+    def existing_prefix_depth(self) -> int:
+        """Number of leading components that exist."""
+        depth = 0
+        for row in self.rows:
+            if row is None:
+                break
+            depth += 1
+        return depth
+
+
+class PathResolver:
+    """Per-namenode resolver owning the inode hint cache."""
+
+    def __init__(self, cache: InodeHintCache, random_depth: int,
+                 is_namenode_dead: Callable[[int], bool]) -> None:
+        self._cache = cache
+        self._random_depth = random_depth
+        self._is_namenode_dead = is_namenode_dead
+        self.batched_resolutions = 0
+        self.recursive_resolutions = 0
+
+    # -- hint-key computation ----------------------------------------------------
+
+    def root_row(self) -> dict:
+        return root_row(children_random=self._random_depth >= 1)
+
+    def child_part_key(self, parent_children_random: bool, parent_id: int,
+                       name: str) -> int:
+        return fs_schema.child_partition_key(parent_children_random,
+                                             parent_id, name)
+
+    def children_random_for_new_dir(self, depth: int) -> bool:
+        """Partition rule of a directory created at ``depth``: its children
+        (at ``depth+1``) are name-hashed iff they fall in the top levels."""
+        return depth + 1 <= self._random_depth
+
+    # -- resolution ----------------------------------------------------------------
+
+    def resolve(self, tx: DALTransaction, path: str,
+                lock_last: LockMode = LockMode.READ_COMMITTED,
+                lock_parent: LockMode = LockMode.READ_COMMITTED,
+                check_subtree_locks: bool = True) -> ResolvedPath:
+        """Resolve ``path``, locking the parent and last components.
+
+        Lock order is parent before child (root-down), matching the global
+        total order. Intermediate components are read at read-committed.
+        """
+        components = split_path(path)
+        resolved = ResolvedPath(path=path, components=components,
+                                root=self.root_row())
+        if not components:
+            return resolved
+        rows = self._resolve_prefix(tx, components)
+        # Re-read the components that need locks at the required strength,
+        # in root-down order (parent first, then last).
+        n = len(components)
+        if (n >= 2 and lock_parent is not LockMode.READ_COMMITTED
+                and len(rows) >= n - 1):
+            parent_row = rows[n - 2]
+            if parent_row is not None:
+                rows[n - 2] = self._reread_locked(tx, parent_row, lock_parent)
+        if lock_last is not LockMode.READ_COMMITTED and len(rows) == n:
+            last_row = rows[n - 1]
+            if last_row is not None:
+                rows[n - 1] = self._reread_locked(tx, last_row, lock_last)
+        elif lock_last is not LockMode.READ_COMMITTED and len(rows) == n - 1:
+            # Path missing only its last component: lock the (future) pk so
+            # concurrent creates of the same name serialize.
+            parent_row = rows[n - 2] if n >= 2 else self.root_row()
+            if parent_row is not None:
+                part_key = self.child_part_key(parent_row["children_random"],
+                                               parent_row["id"],
+                                               components[-1])
+                locked = tx.read("inodes",
+                                 (part_key, parent_row["id"], components[-1]),
+                                 lock=lock_last)
+                rows.append(locked)  # may now exist (raced create)
+        resolved.rows = rows
+        if check_subtree_locks:
+            self._check_subtree_locks(resolved)
+        # intermediate components must be directories
+        for i, row in enumerate(resolved.rows[:-1] if resolved.rows else []):
+            if row is not None and not row["is_dir"]:
+                raise ParentNotDirectoryError(
+                    f"{join_path(components[: i + 1])} is not a directory"
+                )
+        return resolved
+
+    def _resolve_prefix(self, tx: DALTransaction,
+                        components: list[str]) -> list[Optional[dict]]:
+        """Resolve every component at read-committed, batched if possible.
+
+        A path whose components are all hinted costs one batched read.
+        When only the *last* component is unhinted — the normal case for
+        creates, whose target does not exist yet — the hinted prefix is
+        still fetched in one batch ("up to the penultimate inode",
+        Fig. 4 line 3) and the last component costs one extra PK read.
+        """
+        hints = []
+        parent_id = fs_schema.ROOT_ID
+        for depth, name in enumerate(components, start=1):
+            hint = self._cache.get(parent_id, name)
+            if hint is None:
+                break
+            hints.append((depth, parent_id, name, hint))
+            parent_id = hint.inode_id
+        if len(hints) >= len(components) - 1:
+            rows = self._batched_resolve(tx, components, hints)
+            if rows is not None:
+                if len(rows) == len(components) - 1:
+                    parent = rows[-1] if rows else self.root_row()
+                    if parent is not None and parent["is_dir"]:
+                        last = self.lookup_child(tx, parent, components[-1])
+                        if last is not None:
+                            rows.append(last)
+                            self._cache.put(parent["id"], components[-1],
+                                            last["id"], last["part_key"],
+                                            last["is_dir"],
+                                            last["children_random"])
+                self.batched_resolutions += 1
+                return rows
+        self.recursive_resolutions += 1
+        return self._recursive_resolve(tx, components)
+
+    def _batched_resolve(self, tx: DALTransaction, components: list[str],
+                         hints: list) -> Optional[list[Optional[dict]]]:
+        """One batched PK read for the hinted prefix; None on stale hints."""
+        if not hints:
+            return []
+        keys = [
+            (hint.part_key, parent_id, name)
+            for (_depth, parent_id, name, hint) in hints
+        ]
+        rows = tx.read_batch("inodes", keys, lock=LockMode.READ_COMMITTED)
+        for (_depth, parent_id, name, hint), row in zip(hints, rows):
+            if row is None or row["id"] != hint.inode_id:
+                self._cache.invalidate(parent_id, name)
+                return None
+        return list(rows)
+
+    def _recursive_resolve(self, tx: DALTransaction,
+                           components: list[str]) -> list[Optional[dict]]:
+        """Component-by-component lookup; repairs the hint cache."""
+        rows: list[Optional[dict]] = []
+        parent = self.root_row()
+        for name in components:
+            row = self.lookup_child(tx, parent, name)
+            if row is None:
+                break
+            rows.append(row)
+            self._cache.put(parent["id"], name, row["id"], row["part_key"],
+                            row["is_dir"], row["children_random"])
+            parent = row
+        return rows
+
+    def lookup_child(self, tx: DALTransaction, parent_row: dict, name: str,
+                     lock: LockMode = LockMode.READ_COMMITTED) -> Optional[dict]:
+        """PK read using the parent's persistent partition rule.
+
+        The rule (``children_random``) is fixed when the parent directory
+        is created and never changes, so the computed primary key is
+        authoritative — a miss means the child does not exist. This is
+        what lets every path-resolution step stay a primary-key operation
+        (paper Fig. 2b).
+        """
+        part_key = self.child_part_key(parent_row["children_random"],
+                                       parent_row["id"], name)
+        return tx.read("inodes", (part_key, parent_row["id"], name), lock=lock)
+
+    def _reread_locked(self, tx: DALTransaction, row: dict,
+                       lock: LockMode) -> Optional[dict]:
+        return tx.read("inodes", (row["part_key"], row["parent_id"], row["name"]),
+                       lock=lock)
+
+    def _check_subtree_locks(self, resolved: ResolvedPath) -> None:
+        for i, row in enumerate(resolved.rows):
+            if row is None:
+                return
+            owner = row["subtree_lock_owner"]
+            if owner == fs_schema.NO_LOCK:
+                continue
+            if self._is_namenode_dead(owner):
+                raise StaleSubtreeLockError(
+                    (row["part_key"], row["parent_id"], row["name"]), owner
+                )
+            raise SubtreeLockedError(
+                f"{join_path(resolved.components[: i + 1])} is locked by "
+                f"a subtree operation on namenode {owner}"
+            )
+
+
+def read_file_metadata(tx: DALTransaction, inode_id: int,
+                       tables: tuple[str, ...] = fs_schema.FILE_INODE_TABLES,
+                       ) -> dict[str, list[dict]]:
+    """Lock-phase line 6: read file-inode related rows with PPIS.
+
+    Tables are read in the fixed :data:`repro.hopsfs.schema.FILE_INODE_TABLES`
+    order; the inode's row lock implicitly protects them (hierarchical
+    locking, §5.2.1), so read-committed suffices here.
+    """
+    return {
+        table: tx.ppis(table, {"inode_id": inode_id})
+        for table in tables
+    }
+
+
+class IdAllocator:
+    """Allocates unique ids from the ``sequences`` table in leased batches.
+
+    Each namenode leases ``batch`` ids with one small transaction and
+    hands them out locally; ids are unique across namenodes and survive
+    namenode restarts (ids are never reused). Thread safe.
+    """
+
+    def __init__(self, session: DALSession, sequence: str, batch: int = 1000) -> None:
+        self._session = session
+        self._sequence = sequence
+        self._batch = batch
+        self._next = 0
+        self._limit = 0
+        self._mutex = threading.Lock()
+
+    def next(self) -> int:
+        with self._mutex:
+            if self._next >= self._limit:
+                self._lease_batch()
+            value = self._next
+            self._next += 1
+            return value
+
+    def next_many(self, n: int) -> list[int]:
+        return [self.next() for _ in range(n)]
+
+    def _lease_batch(self) -> None:
+        def fn(tx: DALTransaction) -> tuple[int, int]:
+            row = tx.read("sequences", (self._sequence,), lock=LockMode.EXCLUSIVE)
+            if row is None:
+                raise FileSystemError(
+                    f"sequence {self._sequence!r} missing; format the namespace first"
+                )
+            start = row["next_value"]
+            tx.update("sequences", (self._sequence,),
+                      {"next_value": start + self._batch})
+            return start, start + self._batch
+
+        self._next, self._limit = self._session.run(
+            fn, hint=("sequences", {"name": self._sequence})
+        )

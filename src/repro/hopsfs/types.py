@@ -1,0 +1,68 @@
+"""Public value types returned by file system operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """Metadata of one file or directory (the result of ``stat``)."""
+
+    path: str
+    inode_id: int
+    is_dir: bool
+    perm: int
+    owner: str
+    group: str
+    mtime: float
+    atime: float
+    size: int
+    replication: int
+    under_construction: bool = False
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """One block of a file plus the datanodes holding replicas."""
+
+    block_id: int
+    index: int
+    size: int
+    gen_stamp: int
+    state: str
+    datanodes: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LocatedBlocks:
+    """Result of ``get_block_locations`` (the HDFS read path)."""
+
+    path: str
+    file_size: int
+    blocks: tuple[BlockLocation, ...]
+    under_construction: bool
+
+
+@dataclass(frozen=True)
+class ContentSummary:
+    """Result of ``content_summary``: recursive usage of a directory."""
+
+    path: str
+    file_count: int
+    directory_count: int
+    length: int
+    ns_quota: Optional[int] = None
+    ds_quota: Optional[int] = None
+
+
+@dataclass
+class DirectoryListing:
+    """Result of ``list_status``."""
+
+    path: str
+    entries: list[FileStatus] = field(default_factory=list)
+
+    def names(self) -> list[str]:
+        return sorted(s.path.rsplit("/", 1)[-1] for s in self.entries)

@@ -1,0 +1,42 @@
+"""An in-memory, shared-nothing, transactional NewSQL storage engine.
+
+This package is a from-scratch functional reproduction of the aspects of
+MySQL Cluster / NDB that HopsFS depends on (paper §2.2):
+
+* tables with composite primary keys and **application-defined
+  partitioning** (the partition key is a subset of the primary key);
+* horizontal partitioning across *datanodes* organised into **node
+  groups** with replication degree ``R``;
+* transaction coordinators on every datanode and **distribution-aware
+  transactions** (a partition-key hint starts the transaction on the node
+  that stores the data);
+* **read-committed isolation** plus row-level shared/exclusive locks,
+  lock-wait timeouts and wait-for-graph deadlock detection;
+* access paths with very different costs: primary-key reads, *batched*
+  primary-key reads, **partition-pruned index scans** (one shard),
+  all-shard index scans and full-table scans — per-transaction statistics
+  record exactly which were used so the evaluation can verify that HopsFS
+  operations avoid the expensive ones (paper Fig. 2);
+* redo logging, local checkpoints and global (epoch) checkpoints, node
+  failure, node-group semantics and recovery (§2.2.1).
+
+The engine is thread safe: the HopsFS test suite drives it from many
+concurrent client threads.
+"""
+
+from repro.ndb.cluster import NDBCluster
+from repro.ndb.config import NDBConfig
+from repro.ndb.locks import LockMode
+from repro.ndb.schema import TableSchema
+from repro.ndb.session import Session
+from repro.ndb.stats import AccessKind, AccessStats
+
+__all__ = [
+    "AccessKind",
+    "AccessStats",
+    "LockMode",
+    "NDBCluster",
+    "NDBConfig",
+    "Session",
+    "TableSchema",
+]

@@ -1,0 +1,391 @@
+"""The NDB cluster: schema registry, placement, commit, failures, recovery.
+
+Responsibilities:
+
+* owns datanodes, the partition map, the row-lock manager and the commit
+  (redo/undo) log;
+* applies committed write batches to every live replica of each touched
+  partition (the effect of NDB's two-phase commit across node groups);
+* node failure handling: aborts transactions coordinated by a dead node
+  (transaction-coordinator failover aborts its open transactions), promotes
+  backup replicas to primary, and refuses service only when an entire node
+  group is gone (paper §2.2.1, §7.6.2);
+* epochs (global checkpoints), local checkpoints and cluster-level crash
+  recovery to the last completed epoch (§2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Mapping, Optional, TypeVar
+
+from repro.errors import (
+    ClusterDownError,
+    DeadlockError,
+    LockTimeoutError,
+    NoSuchTableError,
+    SchemaError,
+    TransactionAbortedError,
+)
+from repro.ndb.config import NDBConfig
+from repro.ndb.datanode import CommitRecord, NDBDatanode, WriteRecord
+from repro.ndb.fragment import Fragment
+from repro.ndb.locks import LockManager
+from repro.ndb.partition import PartitionMap
+from repro.ndb.schema import TableSchema
+from repro.ndb.transaction import Transaction, TxState
+
+T = TypeVar("T")
+
+
+class NDBCluster:
+    """An in-memory NDB cluster."""
+
+    def __init__(self, config: Optional[NDBConfig] = None) -> None:
+        self.config = config or NDBConfig()
+        self.datanodes = [NDBDatanode(i) for i in range(self.config.num_datanodes)]
+        self._pmap = PartitionMap(
+            num_partitions=self.config.num_partitions,
+            num_node_groups=self.config.num_node_groups,
+            replication=self.config.replication,
+        )
+        self._schemas: dict[str, TableSchema] = {}
+        self._locks = LockManager(
+            timeout=self.config.lock_timeout,
+            deadlock_detection=self.config.deadlock_detection,
+        )
+        #: current primary node per partition (same for all tables)
+        self._primaries: dict[int, int] = {
+            pid: self._pmap.replica_nodes(pid)[0]
+            for pid in range((self.config.num_partitions))
+        }
+        self._tx_counter = itertools.count(1)
+        self._active_txs: dict[int, Transaction] = {}
+        self._registry_lock = threading.Lock()
+        #: serializes commit application against kills/snapshots
+        self._apply_lock = threading.RLock()
+        # epochs / recovery state
+        self.epoch = 1
+        self.completed_epoch = 0
+        self.commit_log: list[CommitRecord] = []
+        self._lcp_snapshot: Optional[dict[tuple[str, int], dict]] = None
+        self._lcp_watermark = 0
+        self._coordinator_rr = itertools.count()
+
+    # -- schema ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        self._schemas[schema.name] = schema
+        for pid in range(self.config.num_partitions):
+            for node_id in self._pmap.replica_nodes(pid):
+                self.datanodes[node_id].add_fragment(schema, pid)
+
+    def schema(self, table: str) -> TableSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise NoSuchTableError(table) from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._schemas)
+
+    # -- placement ------------------------------------------------------------------
+
+    def partition_of(self, table: str, pk: tuple[Any, ...]) -> int:
+        schema = self.schema(table)
+        return self._pmap.partition_of(schema.partition_values_from_pk(pk))
+
+    def partition_for_values(self, table: str, values: Mapping[str, Any]) -> int:
+        schema = self.schema(table)
+        return self._pmap.partition_of(schema.partition_values(values))
+
+    def _primary_node(self, pid: int) -> int:
+        node_id = self._primaries[pid]
+        if not self.datanodes[node_id].alive:
+            raise ClusterDownError(
+                f"partition {pid} has no live primary (node group down)"
+            )
+        return node_id
+
+    def _primary_fragment(self, table: str, pid: int) -> Fragment:
+        return self.datanodes[self._primary_node(pid)].fragment(table, pid)
+
+    def live_replicas(self, pid: int) -> list[int]:
+        return [n for n in self._pmap.replica_nodes(pid) if self.datanodes[n].alive]
+
+    # -- sessions / transactions ------------------------------------------------------
+
+    def session(self) -> "Session":
+        from repro.ndb.session import Session
+
+        return Session(self)
+
+    def begin(self, hint: Optional[tuple[str, Mapping[str, Any]]] = None) -> Transaction:
+        """Start a transaction.
+
+        ``hint`` is ``(table, partition_key_values)``: the transaction
+        coordinator is placed on the node holding that partition's primary
+        replica (a *distribution-aware transaction*). An incorrect hint
+        only costs extra network hops, never correctness (§2.2). Without a
+        hint, coordinators round-robin over live datanodes.
+        """
+        coordinator = self._pick_coordinator(hint)
+        tx = Transaction(self, next(self._tx_counter), coordinator)
+        with self._registry_lock:
+            self._active_txs[tx.tx_id] = tx
+        return tx
+
+    def _pick_coordinator(self, hint: Optional[tuple[str, Mapping[str, Any]]]) -> int:
+        live = [n.node_id for n in self.datanodes if n.alive]
+        if not live:
+            raise ClusterDownError("no live datanodes")
+        if hint is not None:
+            table, values = hint
+            pid = self.partition_for_values(table, values)
+            node_id = self._primaries[pid]
+            if self.datanodes[node_id].alive:
+                return node_id
+        return live[next(self._coordinator_rr) % len(live)]
+
+    def _forget_tx(self, tx: Transaction) -> None:
+        with self._registry_lock:
+            self._active_txs.pop(tx.tx_id, None)
+
+    def run_in_transaction(self, fn: Callable[[Transaction], T],
+                           hint: Optional[tuple[str, Mapping[str, Any]]] = None,
+                           retries: int = 5) -> T:
+        """Run ``fn`` in a transaction, retrying on lock conflicts.
+
+        Retries on :class:`DeadlockError`, :class:`LockTimeoutError` and
+        :class:`TransactionAbortedError` (the standard NDB client pattern).
+        """
+        last_exc: Exception = TransactionAbortedError("no attempts made")
+        for _attempt in range(max(1, retries)):
+            tx = self.begin(hint)
+            try:
+                result = fn(tx)
+                if tx.state is TxState.ACTIVE:
+                    tx.commit()
+                return result
+            except (DeadlockError, LockTimeoutError, TransactionAbortedError) as exc:
+                tx.abort()
+                last_exc = exc
+            except Exception:
+                tx.abort()
+                raise
+        raise last_exc
+
+    # -- commit application --------------------------------------------------------------
+
+    def _apply_commit(self, tx: Transaction) -> None:
+        """Validate participants, apply the write batch, log redo/undo."""
+        with self._apply_lock:
+            if tx.state is not TxState.ACTIVE:
+                raise TransactionAbortedError(f"tx {tx.tx_id} no longer active")
+            writes = tx._writes
+            if not writes:
+                tx.state = TxState.COMMITTED
+                return
+            # prepare: every touched partition must have a live primary
+            touched: dict[tuple[str, tuple[Any, ...]], int] = {}
+            for (table, pk) in writes:
+                pid = self.partition_of(table, pk)
+                self._primary_node(pid)  # raises ClusterDownError if group dead
+                touched[(table, pk)] = pid
+            # apply to all live replicas + build the commit record
+            record = CommitRecord(tx_id=tx.tx_id, epoch=self.epoch)
+            write_pids = []
+            rows_written = 0
+            for (table, pk), pending in writes.items():
+                pid = touched[(table, pk)]
+                write_pids.append(pid)
+                before = self._primary_fragment(table, pid).get(pk)
+                for node_id in self.live_replicas(pid):
+                    frag = self.datanodes[node_id].fragment(table, pid)
+                    if pending.op == "delete":
+                        frag.apply_delete(pk)
+                    elif before is None:
+                        # a delete+insert on the same pk inside one tx nets
+                        # out to an update of the committed row, so pick the
+                        # physical operation from the before-image
+                        frag.apply_insert(pending.row)  # type: ignore[arg-type]
+                    else:
+                        frag.apply_update(pk, pending.row)  # type: ignore[arg-type]
+                record.writes.append(
+                    WriteRecord(table=table, partition_id=pid, pk=pk,
+                                before=before,
+                                after=dict(pending.row) if pending.row else None)
+                )
+                rows_written += 1
+            self.commit_log.append(record)
+            tx.state = TxState.COMMITTED
+            # account the flushed write batch + the commit round
+            from repro.ndb.stats import AccessEvent, AccessKind
+
+            nodes = tuple(sorted({self._primaries[pid] for pid in write_pids}))
+            tx.stats.record(
+                AccessEvent(kind=AccessKind.BATCH_PK, table="*",
+                            partitions=tuple(write_pids), nodes=nodes,
+                            coordinator=tx.coordinator, rows=rows_written,
+                            locked=False, write=True)
+            )
+            tx.stats.record(
+                AccessEvent(kind=AccessKind.COMMIT, table="*", partitions=(),
+                            nodes=tuple(sorted(tx._participants)),
+                            coordinator=tx.coordinator, rows=0, locked=False,
+                            write=False)
+            )
+
+    # -- failures ----------------------------------------------------------------------
+
+    def kill_node(self, node_id: int) -> None:
+        """Crash a datanode.
+
+        In-flight transactions coordinated by the node are aborted (their
+        locks released, waiting acquirers woken) — the effect of NDB's
+        transaction-coordinator failover. Partitions whose primary lived
+        there fail over to a surviving replica in the node group.
+        """
+        node = self.datanodes[node_id]
+        if not node.alive:
+            return
+        with self._apply_lock:
+            node.kill()
+            victims = []
+            with self._registry_lock:
+                for tx in list(self._active_txs.values()):
+                    if tx.coordinator == node_id and tx.state is TxState.ACTIVE:
+                        victims.append(tx)
+            self._locks.abort_waiters(victims)
+            for tx in victims:
+                tx.state = TxState.ABORTED
+                self._locks.release_all(tx)
+                self._forget_tx(tx)
+            for pid, primary in list(self._primaries.items()):
+                if primary == node_id:
+                    survivors = self.live_replicas(pid)
+                    if survivors:
+                        self._primaries[pid] = survivors[0]
+                    # else: node group down; reads will raise ClusterDownError
+
+    def restart_node(self, node_id: int) -> None:
+        """Node recovery: copy fragment replicas back from live peers."""
+        node = self.datanodes[node_id]
+        if node.alive:
+            return
+        with self._apply_lock:
+            for (table, pid), frag in node.fragments.items():
+                survivors = self.live_replicas(pid)
+                if not survivors:
+                    raise ClusterDownError(
+                        f"cannot recover node {node_id}: partition {pid} has no "
+                        "live replica (use crash recovery)"
+                    )
+                source = self.datanodes[survivors[0]].fragment(table, pid)
+                frag.load(source.snapshot())
+            node.alive = True
+
+    def is_available(self) -> bool:
+        """True if every partition has at least one live replica."""
+        return all(self.live_replicas(pid)
+                   for pid in range(self.config.num_partitions))
+
+    def live_nodes(self) -> list[int]:
+        return [n.node_id for n in self.datanodes if n.alive]
+
+    # -- epochs and recovery ---------------------------------------------------------------
+
+    def complete_epoch(self) -> int:
+        """Global checkpoint: transactions committed so far become durable."""
+        with self._apply_lock:
+            self.completed_epoch = self.epoch
+            self.epoch += 1
+            return self.completed_epoch
+
+    def local_checkpoint(self) -> None:
+        """Snapshot fragment state (bounds redo-log replay at recovery)."""
+        with self._apply_lock:
+            snapshot: dict[tuple[str, int], dict] = {}
+            for table, schema in self._schemas.items():
+                for pid in range(self.config.num_partitions):
+                    frag = self._primary_fragment(table, pid)
+                    snapshot[(table, pid)] = frag.snapshot()
+            self._lcp_snapshot = snapshot
+            self._lcp_watermark = len(self.commit_log)
+
+    def crash_and_recover(self) -> int:
+        """Whole-cluster crash + recovery to the last completed epoch.
+
+        Restores the last local checkpoint, *undoes* checkpointed
+        transactions from epochs newer than the last completed one, then
+        *redoes* logged transactions up to it. Returns the epoch recovered
+        to. Transactions committed in the in-flight epoch are lost — the
+        documented NDB semantic.
+        """
+        with self._apply_lock:
+            with self._registry_lock:
+                victims = list(self._active_txs.values())
+            self._locks.abort_waiters(victims)
+            for tx in victims:
+                tx.state = TxState.ABORTED
+                self._locks.release_all(tx)
+                self._forget_tx(tx)
+            target = self.completed_epoch
+            # 1. restore LCP (or empty state)
+            base: dict[tuple[str, int], dict] = self._lcp_snapshot or {}
+            for table in self._schemas:
+                for pid in range(self.config.num_partitions):
+                    rows = base.get((table, pid), {})
+                    for node_id in self._pmap.replica_nodes(pid):
+                        node = self.datanodes[node_id]
+                        node.alive = True
+                        node.fragment(table, pid).load(rows)
+            # 2. undo checkpointed transactions from incomplete epochs
+            for record in reversed(self.commit_log[: self._lcp_watermark]):
+                if record.epoch > target:
+                    self._undo(record)
+            # 3. redo post-checkpoint transactions up to the target epoch
+            for record in self.commit_log[self._lcp_watermark:]:
+                if record.epoch <= target:
+                    self._redo(record)
+            self.commit_log = [r for r in self.commit_log if r.epoch <= target]
+            self._lcp_watermark = min(self._lcp_watermark, len(self.commit_log))
+            self.epoch = target + 1
+            # primaries reset to preferred layout
+            self._primaries = {
+                pid: self._pmap.replica_nodes(pid)[0]
+                for pid in range(self.config.num_partitions)
+            }
+            return target
+
+    def _undo(self, record: CommitRecord) -> None:
+        for write in reversed(record.writes):
+            for node_id in self._pmap.replica_nodes(write.partition_id):
+                frag = self.datanodes[node_id].fragment(write.table, write.partition_id)
+                frag.apply_restore(write.pk, write.before)
+
+    def _redo(self, record: CommitRecord) -> None:
+        for write in record.writes:
+            for node_id in self._pmap.replica_nodes(write.partition_id):
+                frag = self.datanodes[node_id].fragment(write.table, write.partition_id)
+                frag.apply_restore(write.pk, write.after)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def table_size(self, table: str) -> int:
+        """Total committed rows across all partitions."""
+        self.schema(table)
+        return sum(
+            len(self._primary_fragment(table, pid))
+            for pid in range(self.config.num_partitions)
+        )
+
+    def partition_sizes(self, table: str) -> dict[int, int]:
+        self.schema(table)
+        return {
+            pid: len(self._primary_fragment(table, pid))
+            for pid in range(self.config.num_partitions)
+        }

@@ -1,0 +1,51 @@
+"""Configuration for an NDB cluster instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NDBConfig:
+    """Sizing and behaviour knobs for :class:`repro.ndb.NDBCluster`.
+
+    Defaults mirror the paper's deployment where they are stated:
+    replication degree 2 (§2.2.1), a 1.2 s transaction-inactive timeout
+    (§7.6.2). ``lock_timeout`` is wall-clock seconds because lock waits
+    happen on real threads.
+    """
+
+    num_datanodes: int = 2
+    replication: int = 2
+    #: number of table partitions per datanode; total partitions =
+    #: ``num_datanodes * partitions_per_node`` (fixed at creation, like NDB).
+    partitions_per_node: int = 2
+    #: seconds a transaction waits for a row lock before aborting
+    #: (NDB TransactionInactiveTimeout is 1200 ms by default).
+    lock_timeout: float = 1.2
+    #: enable wait-for-graph deadlock detection (fail fast instead of
+    #: waiting for the timeout).
+    deadlock_detection: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_datanodes < 1:
+            raise ValueError("need at least one datanode")
+        if self.replication < 1:
+            raise ValueError("replication degree must be >= 1")
+        if self.num_datanodes % self.replication != 0:
+            raise ValueError(
+                "num_datanodes must be a multiple of the replication degree "
+                f"(got {self.num_datanodes} datanodes, R={self.replication})"
+            )
+        if self.partitions_per_node < 1:
+            raise ValueError("partitions_per_node must be >= 1")
+        if self.lock_timeout <= 0:
+            raise ValueError("lock_timeout must be positive")
+
+    @property
+    def num_node_groups(self) -> int:
+        return self.num_datanodes // self.replication
+
+    @property
+    def num_partitions(self) -> int:
+        return self.num_datanodes * self.partitions_per_node

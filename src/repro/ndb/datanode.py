@@ -1,0 +1,80 @@
+"""NDB datanodes and the commit log used for recovery.
+
+Each datanode stores fragment replicas for the partitions of its node
+group. The cluster keeps a single logical commit log of committed
+transactions (redo records with before-images serving as undo records),
+stamped with the epoch they committed in. Cluster-level recovery restores
+the last local checkpoint and rolls the log forward to the last *completed*
+epoch — transactions that committed in the in-flight epoch are lost, which
+is exactly NDB's global-checkpoint semantics (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ndb.fragment import Fragment
+from repro.ndb.schema import TableSchema
+
+
+@dataclass
+class WriteRecord:
+    """One row mutation inside a committed transaction.
+
+    ``before`` is the committed row image prior to the write (undo);
+    ``after`` is the image after it (redo). Inserts have ``before=None``;
+    deletes have ``after=None``.
+    """
+
+    table: str
+    partition_id: int
+    pk: tuple[Any, ...]
+    before: Optional[dict[str, Any]]
+    after: Optional[dict[str, Any]]
+
+
+@dataclass
+class CommitRecord:
+    """Redo/undo log entry for one committed transaction."""
+
+    tx_id: int
+    epoch: int
+    writes: list[WriteRecord] = field(default_factory=list)
+
+
+class NDBDatanode:
+    """One storage node: fragment replicas plus liveness state."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.alive = True
+        #: (table_name, partition_id) -> Fragment
+        self.fragments: dict[tuple[str, int], Fragment] = {}
+        self.failures = 0
+
+    def add_fragment(self, schema: TableSchema, partition_id: int) -> Fragment:
+        frag = Fragment(schema, partition_id)
+        self.fragments[(schema.name, partition_id)] = frag
+        return frag
+
+    def fragment(self, table: str, partition_id: int) -> Fragment:
+        return self.fragments[(table, partition_id)]
+
+    def kill(self) -> None:
+        """Simulate a crash: volatile (in-memory) fragment data is lost."""
+        self.alive = False
+        self.failures += 1
+        for frag in self.fragments.values():
+            frag.load({})
+
+    def copy_fragments_from(self, other: "NDBDatanode") -> None:
+        """Node recovery: re-populate replicas from a live peer."""
+        for key, frag in self.fragments.items():
+            source = other.fragments.get(key)
+            if source is not None:
+                frag.load(source.snapshot())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"NDBDatanode(id={self.node_id}, {state}, fragments={len(self.fragments)})"

@@ -1,0 +1,127 @@
+"""Fragment: one replica of one partition of one table.
+
+A fragment stores rows keyed by primary-key tuple plus hash indexes for
+the table's secondary indexes. Every datanode in a partition's node group
+holds its own fragment replica; committed writes are applied to all live
+replicas. A per-fragment lock keeps row+index mutation atomic with respect
+to concurrent readers (transaction-level isolation is the job of the
+row-lock manager, not the fragment).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Mapping, Optional
+
+from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.ndb.schema import TableSchema
+
+Predicate = Optional[Callable[[Mapping[str, Any]], bool]]
+
+
+class Fragment:
+    def __init__(self, schema: TableSchema, partition_id: int) -> None:
+        self.schema = schema
+        self.partition_id = partition_id
+        self._rows: dict[tuple[Any, ...], dict[str, Any]] = {}
+        self._indexes: dict[str, dict[tuple[Any, ...], set[tuple[Any, ...]]]] = {
+            name: {} for name in schema.indexes
+        }
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, pk: tuple[Any, ...]) -> Optional[dict[str, Any]]:
+        with self._lock:
+            row = self._rows.get(pk)
+            return dict(row) if row is not None else None
+
+    def scan(self, predicate: Predicate = None) -> list[dict[str, Any]]:
+        with self._lock:
+            if predicate is None:
+                return [dict(row) for row in self._rows.values()]
+            return [dict(row) for row in self._rows.values() if predicate(row)]
+
+    def index_lookup(self, index_name: str, values: tuple[Any, ...],
+                     predicate: Predicate = None) -> list[dict[str, Any]]:
+        with self._lock:
+            pks = self._indexes[index_name].get(values, ())
+            rows = [self._rows[pk] for pk in pks]
+            if predicate is not None:
+                rows = [row for row in rows if predicate(row)]
+            return [dict(row) for row in rows]
+
+    def pks(self) -> Iterator[tuple[Any, ...]]:
+        with self._lock:
+            return iter(list(self._rows.keys()))
+
+    # -- writes (called only with the row X-locked at the lock manager) --------
+
+    def apply_insert(self, row: Mapping[str, Any]) -> None:
+        pk = self.schema.pk_of(row)
+        with self._lock:
+            if pk in self._rows:
+                raise DuplicateKeyError(f"{self.schema.name}:{pk}")
+            stored = dict(row)
+            self._rows[pk] = stored
+            self._index_add(pk, stored)
+
+    def apply_update(self, pk: tuple[Any, ...], row: Mapping[str, Any]) -> None:
+        with self._lock:
+            old = self._rows.get(pk)
+            if old is None:
+                raise NoSuchRowError(f"{self.schema.name}:{pk}")
+            self._index_remove(pk, old)
+            stored = dict(row)
+            self._rows[pk] = stored
+            self._index_add(pk, stored)
+
+    def apply_delete(self, pk: tuple[Any, ...]) -> None:
+        with self._lock:
+            old = self._rows.pop(pk, None)
+            if old is None:
+                raise NoSuchRowError(f"{self.schema.name}:{pk}")
+            self._index_remove(pk, old)
+
+    def apply_restore(self, pk: tuple[Any, ...], row: Optional[Mapping[str, Any]]) -> None:
+        """Force a row to a given state (used by undo/redo recovery)."""
+        with self._lock:
+            old = self._rows.pop(pk, None)
+            if old is not None:
+                self._index_remove(pk, old)
+            if row is not None:
+                stored = dict(row)
+                self._rows[pk] = stored
+                self._index_add(pk, stored)
+
+    # -- snapshot / clone -------------------------------------------------------
+
+    def snapshot(self) -> dict[tuple[Any, ...], dict[str, Any]]:
+        with self._lock:
+            return {pk: dict(row) for pk, row in self._rows.items()}
+
+    def load(self, rows: Mapping[tuple[Any, ...], Mapping[str, Any]]) -> None:
+        with self._lock:
+            self._rows = {pk: dict(row) for pk, row in rows.items()}
+            self._indexes = {name: {} for name in self.schema.indexes}
+            for pk, row in self._rows.items():
+                self._index_add(pk, row)
+
+    # -- index maintenance -------------------------------------------------------
+
+    def _index_add(self, pk: tuple[Any, ...], row: Mapping[str, Any]) -> None:
+        for name, cols in self.schema.indexes.items():
+            key = tuple(row[col] for col in cols)
+            self._indexes[name].setdefault(key, set()).add(pk)
+
+    def _index_remove(self, pk: tuple[Any, ...], row: Mapping[str, Any]) -> None:
+        for name, cols in self.schema.indexes.items():
+            key = tuple(row[col] for col in cols)
+            bucket = self._indexes[name].get(key)
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del self._indexes[name][key]

@@ -1,0 +1,256 @@
+"""Row-level lock manager: shared/exclusive locks, waits, deadlocks.
+
+NDB offers read-committed isolation only; serializability of HopsFS
+operations comes from row locks taken inside transactions (paper §2.2.2,
+§5). This manager provides:
+
+* ``SHARED`` and ``EXCLUSIVE`` row locks plus lock-free
+  ``READ_COMMITTED`` reads;
+* reentrant acquisition and S→X upgrades (granted immediately for a sole
+  owner, queued otherwise — the paper §5 explains why HopsFS avoids
+  upgrades entirely by reading at the strongest level up front);
+* strict FIFO wait queues per row (no starvation);
+* wait timeouts (NDB's TransactionInactiveTimeout) and wait-for-graph
+  deadlock detection that fails fast with :class:`DeadlockError`.
+
+Locks are logically held at the primary replica of the row's partition; we
+keep them in one manager per cluster, which is equivalent for correctness
+since there is exactly one primary per partition at any time.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
+
+
+class LockMode(enum.Enum):
+    READ_COMMITTED = "rc"   # no lock taken
+    SHARED = "s"
+    EXCLUSIVE = "x"
+
+
+class _Request:
+    __slots__ = ("owner", "mode", "granted")
+
+    def __init__(self, owner: Hashable, mode: LockMode) -> None:
+        self.owner = owner
+        self.mode = mode
+        self.granted = False
+
+
+class _RowLock:
+    __slots__ = ("owners", "queue")
+
+    def __init__(self) -> None:
+        self.owners: dict[Hashable, LockMode] = {}
+        self.queue: deque[_Request] = deque()
+
+    def idle(self) -> bool:
+        return not self.owners and not self.queue
+
+
+class LockManager:
+    """Cluster-wide row lock table.
+
+    ``owner`` handles are opaque hashable tokens (transaction objects).
+    An owner whose transaction is aborted externally (e.g. its coordinator
+    node died) is woken via :meth:`abort_waiters` and raises
+    :class:`TransactionAbortedError` out of its pending acquire.
+    """
+
+    def __init__(self, timeout: float = 1.2, deadlock_detection: bool = True) -> None:
+        self._timeout = timeout
+        self._deadlock_detection = deadlock_detection
+        self._cond = threading.Condition()
+        self._rows: dict[Any, _RowLock] = {}
+        self._held_by_owner: dict[Hashable, set[Any]] = {}
+        self._aborted: set[Hashable] = set()
+        # monitoring
+        self.waits = 0
+        self.deadlocks = 0
+        self.timeouts = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def acquire(self, owner: Hashable, key: Any, mode: LockMode,
+                timeout: Optional[float] = None) -> None:
+        """Acquire ``mode`` on ``key`` for ``owner``; blocks if conflicting.
+
+        READ_COMMITTED is a no-op (lock-free read). Raises
+        :class:`LockTimeoutError`, :class:`DeadlockError` or
+        :class:`TransactionAbortedError`.
+        """
+        if mode is LockMode.READ_COMMITTED:
+            return
+        deadline = time.monotonic() + (timeout if timeout is not None else self._timeout)
+        with self._cond:
+            if owner in self._aborted:
+                raise TransactionAbortedError("transaction was aborted")
+            row = self._rows.get(key)
+            if row is None:
+                row = self._rows[key] = _RowLock()
+            if self._grantable(row, owner, mode):
+                self._grant(row, key, owner, mode)
+                return
+            request = _Request(owner, mode)
+            if owner in row.owners:
+                # lock upgrade: jump ahead of ordinary waiters, behind other
+                # upgrades already queued at the front.
+                insert_at = 0
+                while insert_at < len(row.queue) and row.queue[insert_at].owner in row.owners:
+                    insert_at += 1
+                row.queue.insert(insert_at, request)
+            else:
+                row.queue.append(request)
+            self.waits += 1
+            try:
+                self._wait(row, key, request, owner, deadline)
+            finally:
+                if not request.granted:
+                    try:
+                        row.queue.remove(request)
+                    except ValueError:
+                        pass
+                    self._dispatch(row, key)
+
+    def release_all(self, owner: Hashable) -> None:
+        """Release every lock held by ``owner`` and wake eligible waiters."""
+        with self._cond:
+            keys = self._held_by_owner.pop(owner, set())
+            for key in keys:
+                row = self._rows.get(key)
+                if row is None:
+                    continue
+                row.owners.pop(owner, None)
+                self._dispatch(row, key)
+            self._aborted.discard(owner)
+            if keys:
+                self._cond.notify_all()
+
+    def abort_waiters(self, owners: Iterable[Hashable]) -> None:
+        """Mark owners aborted so their pending acquires fail immediately."""
+        with self._cond:
+            self._aborted.update(owners)
+            self._cond.notify_all()
+
+    def holders(self, key: Any) -> dict[Hashable, LockMode]:
+        with self._cond:
+            row = self._rows.get(key)
+            return dict(row.owners) if row else {}
+
+    def held_keys(self, owner: Hashable) -> set[Any]:
+        with self._cond:
+            return set(self._held_by_owner.get(owner, set()))
+
+    def lock_table_size(self) -> int:
+        with self._cond:
+            return len(self._rows)
+
+    # -- internals -------------------------------------------------------------
+
+    def _grantable(self, row: _RowLock, owner: Hashable, mode: LockMode) -> bool:
+        held = row.owners.get(owner)
+        if held is LockMode.EXCLUSIVE:
+            return True  # reentrant; X covers S
+        if held is LockMode.SHARED and mode is LockMode.SHARED:
+            return True
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            return len(row.owners) == 1  # sole-owner upgrade
+        # new acquisition: respect FIFO queue
+        if row.queue:
+            return False
+        if not row.owners:
+            return True
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for m in row.owners.values())
+        return False
+
+    def _grant(self, row: _RowLock, key: Any, owner: Hashable, mode: LockMode) -> None:
+        held = row.owners.get(owner)
+        if held is LockMode.EXCLUSIVE:
+            return
+        row.owners[owner] = mode if held is None else (
+            LockMode.EXCLUSIVE if LockMode.EXCLUSIVE in (held, mode) else LockMode.SHARED
+        )
+        self._held_by_owner.setdefault(owner, set()).add(key)
+
+    def _dispatch(self, row: _RowLock, key: Any) -> None:
+        """Grant queued requests from the front while compatible."""
+        granted_any = False
+        while row.queue:
+            head = row.queue[0]
+            owner, mode = head.owner, head.mode
+            if owner in self._aborted:
+                row.queue.popleft()
+                granted_any = True  # waiter must wake to observe abort
+                continue
+            held = row.owners.get(owner)
+            others = {o: m for o, m in row.owners.items() if o != owner}
+            if mode is LockMode.SHARED:
+                compatible = all(m is LockMode.SHARED for m in others.values())
+            else:
+                compatible = not others
+            if held is LockMode.EXCLUSIVE:
+                compatible = True
+            if not compatible:
+                break
+            row.queue.popleft()
+            self._grant(row, key, owner, mode)
+            head.granted = True
+            granted_any = True
+        if row.idle():
+            self._rows.pop(key, None)
+        if granted_any:
+            self._cond.notify_all()
+
+    def _blockers(self, row: _RowLock, request: _Request) -> set[Hashable]:
+        """Owners/earlier-waiters this request is waiting on (wait-for edges)."""
+        blockers = {o for o in row.owners if o != request.owner}
+        for queued in row.queue:
+            if queued is request:
+                break
+            if queued.owner != request.owner:
+                blockers.add(queued.owner)
+        return blockers
+
+    def _detect_deadlock(self, start: Hashable) -> bool:
+        """DFS over the wait-for graph looking for a cycle through ``start``."""
+        graph: dict[Hashable, set[Hashable]] = {}
+        for row in self._rows.values():
+            for queued in row.queue:
+                graph.setdefault(queued.owner, set()).update(
+                    self._blockers(row, queued)
+                )
+        stack = [start]
+        seen: set[Hashable] = set()
+        while stack:
+            node = stack.pop()
+            for nxt in graph.get(node, ()):
+                if nxt == start:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def _wait(self, row: _RowLock, key: Any, request: _Request,
+              owner: Hashable, deadline: float) -> None:
+        while True:
+            if request.granted:
+                return
+            if owner in self._aborted:
+                raise TransactionAbortedError("transaction was aborted while waiting")
+            if self._deadlock_detection and self._detect_deadlock(owner):
+                self.deadlocks += 1
+                raise DeadlockError(f"deadlock detected while locking {key!r}")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.timeouts += 1
+                raise LockTimeoutError(f"lock wait timeout on {key!r}")
+            self._cond.wait(timeout=min(remaining, 0.05))

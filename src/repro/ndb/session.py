@@ -1,0 +1,60 @@
+"""Client session: a thin, stat-aggregating handle onto the cluster.
+
+One session per client thread. A session hands out transactions (optionally
+distribution-aware via a partition-key hint) and accumulates their access
+statistics, which is what the HopsFS DAL driver and the performance-model
+recorder consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, TypeVar
+
+from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
+from repro.ndb.stats import AccessStats
+from repro.ndb.transaction import Transaction, TxState
+
+T = TypeVar("T")
+
+
+class Session:
+    def __init__(self, cluster: "repro.ndb.cluster.NDBCluster") -> None:
+        self.cluster = cluster
+        self.stats = AccessStats()
+        self.retries_used = 0
+
+    def begin(self, hint: Optional[tuple[str, Mapping[str, Any]]] = None) -> Transaction:
+        return self.cluster.begin(hint)
+
+    def run(self, fn: Callable[[Transaction], T],
+            hint: Optional[tuple[str, Mapping[str, Any]]] = None,
+            retries: int = 5) -> T:
+        """Run ``fn`` in a transaction; retry on lock conflicts.
+
+        Statistics of every attempt — including aborted ones, whose work
+        was real — are merged into :attr:`stats`.
+        """
+        last_exc: Exception = TransactionAbortedError("no attempts made")
+        for attempt in range(max(1, retries)):
+            tx = self.cluster.begin(hint)
+            try:
+                result = fn(tx)
+                if tx.state is TxState.ACTIVE:
+                    tx.commit()
+                self.stats.merge(tx.stats)
+                return result
+            except (DeadlockError, LockTimeoutError, TransactionAbortedError) as exc:
+                tx.abort()
+                self.stats.merge(tx.stats)
+                self.retries_used += 1
+                last_exc = exc
+            except Exception:
+                tx.abort()
+                self.stats.merge(tx.stats)
+                raise
+        raise last_exc
+
+    def reset_stats(self) -> AccessStats:
+        """Return accumulated stats and start a fresh accumulator."""
+        stats, self.stats = self.stats, AccessStats()
+        return stats

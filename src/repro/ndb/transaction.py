@@ -1,0 +1,397 @@
+"""Transactions: buffered writes, row locks, 2PC apply, access statistics.
+
+Semantics implemented (paper §2.2.2, §5):
+
+* **read-committed isolation** — unlocked reads observe the latest
+  committed row image; a transaction's own buffered writes are visible to
+  itself (read-your-writes);
+* ``SHARED``/``EXCLUSIVE`` row locks acquired at read/write time and held
+  to commit/abort (strict two-phase locking when the caller, like HopsFS,
+  reads everything up front at the strongest needed level);
+* writes are buffered in a per-transaction cache and transferred to the
+  datanodes in one batch at commit (HopsFS' update phase);
+* commit applies each write to **every live replica** of the row's
+  partition and appends a redo/undo record stamped with the current epoch.
+
+Every round trip is recorded as an :class:`AccessEvent` so upper layers
+can verify access-path usage and feed the performance model.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    SchemaError,
+    TransactionAbortedError,
+)
+from repro.ndb.locks import LockMode
+from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
+
+Predicate = Optional[Callable[[Mapping[str, Any]], bool]]
+
+
+class TxState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class _Write:
+    """A buffered row mutation ('insert' | 'update' | 'delete')."""
+
+    __slots__ = ("op", "row")
+
+    def __init__(self, op: str, row: Optional[dict[str, Any]]) -> None:
+        self.op = op
+        self.row = row
+
+
+class Transaction:
+    """One database transaction. Not thread safe; owned by a single caller
+    thread (the cluster may abort it from another thread on node failure).
+    """
+
+    def __init__(self, cluster: "repro.ndb.cluster.NDBCluster", tx_id: int,
+                 coordinator: int) -> None:
+        self._cluster = cluster
+        self.tx_id = tx_id
+        self.coordinator = coordinator
+        self.state = TxState.ACTIVE
+        self.stats = AccessStats()
+        self._writes: dict[tuple[str, tuple[Any, ...]], _Write] = {}
+        self._participants: set[int] = {coordinator}
+        self._mutex = threading.Lock()  # serializes commit vs external abort
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.state is TxState.ABORTED:
+            raise TransactionAbortedError(f"tx {self.tx_id} was aborted")
+        if self.state is TxState.COMMITTED:
+            raise TransactionAbortedError(f"tx {self.tx_id} already committed")
+
+    def _lock(self, table: str, pk: tuple[Any, ...], mode: LockMode) -> None:
+        if mode is LockMode.READ_COMMITTED:
+            return
+        self._cluster._locks.acquire(self, (table, pk), mode)
+        self.stats.rows_locked += 1
+
+    def _buffered(self, table: str, pk: tuple[Any, ...]) -> Optional[_Write]:
+        return self._writes.get((table, pk))
+
+    def _record(self, kind: AccessKind, table: str, partitions: Sequence[int],
+                rows: int, locked: bool, write: bool = False) -> None:
+        nodes = tuple(
+            sorted({self._cluster._primary_node(pid) for pid in partitions})
+        )
+        self.stats.record(
+            AccessEvent(
+                kind=kind,
+                table=table,
+                partitions=tuple(partitions),
+                nodes=nodes,
+                coordinator=self.coordinator,
+                rows=rows,
+                locked=locked,
+                write=write,
+            )
+        )
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(self, table: str, key: Mapping[str, Any] | Sequence[Any],
+             lock: LockMode = LockMode.READ_COMMITTED) -> Optional[dict[str, Any]]:
+        """Primary-key read. Returns a row copy or None."""
+        self._check_active()
+        schema = self._cluster.schema(table)
+        pk = schema.pk_tuple(key)
+        pid = self._cluster.partition_of(table, pk)
+        self._lock(table, pk, lock)
+        self._check_active()
+        row = self._committed_or_buffered(table, pid, pk)
+        self._record(AccessKind.PK, table, [pid], rows=1 if row else 0,
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return row
+
+    def read_batch(self, table: str, keys: Sequence[Mapping[str, Any] | Sequence[Any]],
+                   lock: LockMode = LockMode.READ_COMMITTED,
+                   ) -> list[Optional[dict[str, Any]]]:
+        """Batched primary-key read: one round trip, parallel on the shards.
+
+        Locks (if requested) are acquired in the order the keys are given —
+        callers are responsible for supplying a deadlock-free total order,
+        as HopsFS does (§5, left-ordered depth-first traversal).
+        """
+        self._check_active()
+        schema = self._cluster.schema(table)
+        pks = [schema.pk_tuple(key) for key in keys]
+        rows: list[Optional[dict[str, Any]]] = []
+        pids = []
+        for pk in pks:
+            pid = self._cluster.partition_of(table, pk)
+            pids.append(pid)
+            self._lock(table, pk, lock)
+            self._check_active()
+            rows.append(self._committed_or_buffered(table, pid, pk))
+        self._record(AccessKind.BATCH_PK, table, pids,
+                     rows=sum(1 for r in rows if r is not None),
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return rows
+
+    def ppis(self, table: str, partition_values: Mapping[str, Any],
+             predicate: Predicate = None,
+             lock: LockMode = LockMode.READ_COMMITTED,
+             columns: Optional[Sequence[str]] = None) -> list[dict[str, Any]]:
+        """Partition-pruned index scan: touches exactly one shard.
+
+        ``partition_values`` must cover the table's partition-key columns;
+        rows returned match those values *and* the optional predicate.
+        ``columns`` projects the result (the subtree protocol reads only
+        inode ids, §6.1 phase 2).
+        """
+        self._check_active()
+        schema = self._cluster.schema(table)
+        pvals = schema.partition_values(partition_values)
+        pid = self._cluster._pmap.partition_of(pvals)
+        pcols = schema.partition_key
+
+        def matches(row: Mapping[str, Any]) -> bool:
+            if any(row[col] != partition_values[col] for col in pcols):
+                return False
+            return predicate is None or predicate(row)
+
+        rows = self._scan_partition(table, pid, matches, lock)
+        self._record(AccessKind.PPIS, table, [pid], rows=len(rows),
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return self._project(rows, columns)
+
+    def index_scan(self, table: str, index_name: str, values: Sequence[Any],
+                   predicate: Predicate = None,
+                   lock: LockMode = LockMode.READ_COMMITTED) -> list[dict[str, Any]]:
+        """Index scan in which *all* shards participate (expensive)."""
+        self._check_active()
+        schema = self._cluster.schema(table)
+        cols = schema.index_columns(index_name)
+        if len(cols) != len(values):
+            raise SchemaError(
+                f"index {index_name!r} covers {len(cols)} columns, got {len(values)}"
+            )
+        key = tuple(values)
+
+        def matches(row: Mapping[str, Any]) -> bool:
+            if tuple(row[col] for col in cols) != key:
+                return False
+            return predicate is None or predicate(row)
+
+        all_pids = range(self._cluster.config.num_partitions)
+        rows: list[dict[str, Any]] = []
+        for pid in all_pids:
+            rows.extend(self._scan_partition(table, pid, matches, lock,
+                                             index=(index_name, key)))
+        self._record(AccessKind.INDEX_SCAN, table, list(all_pids), rows=len(rows),
+                     locked=lock is not LockMode.READ_COMMITTED)
+        return rows
+
+    def full_scan(self, table: str, predicate: Predicate = None) -> list[dict[str, Any]]:
+        """Full table scan across every shard (most expensive access path)."""
+        self._check_active()
+        all_pids = range(self._cluster.config.num_partitions)
+        rows: list[dict[str, Any]] = []
+        for pid in all_pids:
+            rows.extend(
+                self._scan_partition(table, pid,
+                                     predicate if predicate else lambda _row: True,
+                                     LockMode.READ_COMMITTED)
+            )
+        self._record(AccessKind.FULL_SCAN, table, list(all_pids), rows=len(rows),
+                     locked=False)
+        return rows
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert(self, table: str, row: Mapping[str, Any]) -> None:
+        """Buffer an insert; takes an X lock on the (future) primary key."""
+        self._check_active()
+        schema = self._cluster.schema(table)
+        schema.validate_row(row)
+        pk = schema.pk_of(row)
+        pid = self._cluster.partition_of(table, pk)
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        self._check_active()
+        pending = self._buffered(table, pk)
+        if pending is not None and pending.op != "delete":
+            raise DuplicateKeyError(f"{table}:{pk} already written in this tx")
+        if pending is None and self._committed_row(table, pid, pk) is not None:
+            raise DuplicateKeyError(f"{table}:{pk} already exists")
+        self._writes[(table, pk)] = _Write("insert", dict(row))
+        self._participants.add(self._cluster._primary_node(pid))
+
+    def update(self, table: str, key: Mapping[str, Any] | Sequence[Any],
+               changes: Mapping[str, Any]) -> None:
+        """Buffer an update of some columns; X-locks the row."""
+        self._check_active()
+        schema = self._cluster.schema(table)
+        pk = schema.pk_tuple(key)
+        for col in changes:
+            if col not in schema.columns:
+                raise SchemaError(f"unknown column {col!r} in {table!r}")
+            if col in schema.primary_key:
+                raise SchemaError(
+                    f"cannot update pk column {col!r}; delete and re-insert "
+                    "(HopsFS move does exactly this)"
+                )
+        pid = self._cluster.partition_of(table, pk)
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        self._check_active()
+        current = self._committed_or_buffered(table, pid, pk)
+        if current is None:
+            raise NoSuchRowError(f"{table}:{pk}")
+        merged = dict(current)
+        merged.update(changes)
+        pending = self._buffered(table, pk)
+        op = "insert" if pending is not None and pending.op == "insert" else "update"
+        self._writes[(table, pk)] = _Write(op, merged)
+        self._participants.add(self._cluster._primary_node(pid))
+
+    def write(self, table: str, row: Mapping[str, Any]) -> None:
+        """Upsert a full row (insert if absent, overwrite if present)."""
+        self._check_active()
+        schema = self._cluster.schema(table)
+        schema.validate_row(row)
+        pk = schema.pk_of(row)
+        pid = self._cluster.partition_of(table, pk)
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        self._check_active()
+        exists = self._committed_or_buffered(table, pid, pk) is not None
+        pending = self._buffered(table, pk)
+        if exists:
+            op = "insert" if pending is not None and pending.op == "insert" else "update"
+        else:
+            op = "insert"
+        self._writes[(table, pk)] = _Write(op, dict(row))
+        self._participants.add(self._cluster._primary_node(pid))
+
+    def delete(self, table: str, key: Mapping[str, Any] | Sequence[Any],
+               must_exist: bool = True) -> bool:
+        """Buffer a delete; X-locks the row. Returns True if a row existed."""
+        self._check_active()
+        schema = self._cluster.schema(table)
+        pk = schema.pk_tuple(key)
+        pid = self._cluster.partition_of(table, pk)
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        self._check_active()
+        current = self._committed_or_buffered(table, pid, pk)
+        if current is None:
+            if must_exist:
+                raise NoSuchRowError(f"{table}:{pk}")
+            return False
+        pending = self._buffered(table, pk)
+        if pending is not None and pending.op == "insert":
+            # insert+delete inside one tx cancels out
+            del self._writes[(table, pk)]
+        else:
+            self._writes[(table, pk)] = _Write("delete", None)
+        self._participants.add(self._cluster._primary_node(pid))
+        return True
+
+    # -- transaction end -----------------------------------------------------------
+
+    def commit(self) -> None:
+        """Two-phase commit: flush the write batch to all replicas."""
+        with self._mutex:
+            self._check_active()
+            try:
+                self._cluster._apply_commit(self)
+            except Exception:
+                self.state = TxState.ABORTED
+                raise
+            finally:
+                self._cluster._locks.release_all(self)
+                self._cluster._forget_tx(self)
+
+    def abort(self) -> None:
+        with self._mutex:
+            if self.state is not TxState.ACTIVE:
+                return
+            self.state = TxState.ABORTED
+            self._cluster._locks.release_all(self)
+            self._cluster._forget_tx(self)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self.state is TxState.ACTIVE:
+            self.commit()
+        elif self.state is TxState.ACTIVE:
+            self.abort()
+
+    # -- internals -------------------------------------------------------------------
+
+    def _project(self, rows: list[dict[str, Any]],
+                 columns: Optional[Sequence[str]]) -> list[dict[str, Any]]:
+        if columns is None:
+            return rows
+        return [{col: row[col] for col in columns} for row in rows]
+
+    def _committed_row(self, table: str, pid: int,
+                       pk: tuple[Any, ...]) -> Optional[dict[str, Any]]:
+        frag = self._cluster._primary_fragment(table, pid)
+        return frag.get(pk)
+
+    def _committed_or_buffered(self, table: str, pid: int,
+                               pk: tuple[Any, ...]) -> Optional[dict[str, Any]]:
+        pending = self._buffered(table, pk)
+        if pending is not None:
+            return dict(pending.row) if pending.row is not None else None
+        return self._committed_row(table, pid, pk)
+
+    def _scan_partition(self, table: str, pid: int,
+                        predicate: Callable[[Mapping[str, Any]], bool],
+                        lock: LockMode,
+                        index: Optional[tuple[str, tuple[Any, ...]]] = None,
+                        ) -> list[dict[str, Any]]:
+        """Scan one partition, merge in buffered writes, lock if requested.
+
+        With ``index`` the partition's hash index narrows the candidate
+        rows (an index scan is cheaper than a full scan *per shard*, even
+        though both touch every shard).
+        """
+        schema = self._cluster.schema(table)
+        frag = self._cluster._primary_fragment(table, pid)
+        if index is not None:
+            index_name, key = index
+            rows = frag.index_lookup(index_name, key, predicate)
+        else:
+            rows = frag.scan(predicate)
+        if lock is not LockMode.READ_COMMITTED:
+            locked_rows = []
+            for row in rows:
+                pk = schema.pk_of(row)
+                self._lock(table, pk, lock)
+                self._check_active()
+                fresh = frag.get(pk)  # re-read: row may have changed pre-lock
+                if fresh is not None and predicate(fresh):
+                    locked_rows.append(fresh)
+            rows = locked_rows
+        # merge this transaction's own buffered writes
+        merged: dict[tuple[Any, ...], dict[str, Any]] = {
+            schema.pk_of(row): row for row in rows
+        }
+        for (wtable, pk), pending in self._writes.items():
+            if wtable != table:
+                continue
+            if self._cluster.partition_of(table, pk) != pid:
+                continue
+            if pending.op == "delete":
+                merged.pop(pk, None)
+            elif predicate(pending.row):  # type: ignore[arg-type]
+                merged[pk] = dict(pending.row)  # type: ignore[arg-type]
+            else:
+                merged.pop(pk, None)
+        return list(merged.values())

@@ -1,0 +1,107 @@
+"""Closed-form saturation throughput (Figure 7's per-operation floods).
+
+For a flood of one operation type the bottleneck is whichever saturates
+first:
+
+* the namenodes — ``handlers / op-latency`` each, where the unloaded
+  latency is the sum of the operation's round trips;
+* the database — total NDB thread-seconds divided by the operation's
+  measured thread-time cost;
+* for mutations, the concurrently-written directories' row locks.
+
+This reproduces the stacked-bar shape of Figure 7: each +5 namenodes adds
+one increment until the database (or lock) ceiling flattens the bars.
+The HDFS bar is the fitted single-station rate for that operation class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmodel.costs import CostModel
+from repro.perfmodel.profiles import OpProfile
+from repro.workload.spec import WRITE_OPS
+
+
+@dataclass
+class SaturationModel:
+    cost: CostModel = field(default_factory=CostModel)
+
+    # -- per-operation unloaded latency and work -----------------------------------------
+
+    def op_latency(self, profile: OpProfile) -> float:
+        cost = self.cost
+        latency = cost.client_nn_rtt + cost.nn_cpu_per_op
+        for trip in profile.trips:
+            latency += cost.nn_db_rtt
+            if not trip.local:
+                latency += cost.db_internode_hop
+            row_cost = (cost.db_write_row_cost if trip.write
+                        else cost.db_row_cost)
+            latency += (cost.db_trip_overhead / trip.fanout
+                        + max(1, trip.rows) / trip.fanout * row_cost)
+        return latency
+
+    def db_work(self, profile: OpProfile) -> float:
+        cost = self.cost
+        return sum(
+            cost.db_trip_overhead
+            + max(1, t.rows) * (cost.db_write_row_cost if t.write
+                                else cost.db_row_cost)
+            for t in profile.trips)
+
+    # -- ceilings ----------------------------------------------------------------------------
+
+    def namenode_ceiling(self, profile: OpProfile, num_namenodes: int) -> float:
+        return num_namenodes * self.cost.nn_handlers / self.op_latency(profile)
+
+    def db_ceiling(self, profile: OpProfile, ndb_nodes: int) -> float:
+        return self.cost.ndb_total_threads(ndb_nodes) / self.db_work(profile)
+
+    def dir_lock_ceiling(self, op_name: str, profile: OpProfile) -> float:
+        if op_name not in ("create", "mkdirs", "delete", "rename"):
+            return float("inf")
+        hold = self.op_latency(profile) - self.cost.client_nn_rtt
+        return self.cost.concurrent_write_directories / hold
+
+    def hopsfs_throughput(self, op_name: str, profile: OpProfile,
+                          num_namenodes: int, ndb_nodes: int = 12,
+                          efficiency: float = 0.85) -> float:
+        """Saturation throughput of a single-op flood.
+
+        ``efficiency`` discounts the ideal ceilings for queueing losses
+        (the discrete-event model shows ~0.8–0.9 of the analytic bound at
+        the knee).
+        """
+        return efficiency * min(
+            self.namenode_ceiling(profile, num_namenodes),
+            self.db_ceiling(profile, ndb_nodes),
+            self.dir_lock_ceiling(op_name, profile),
+        )
+
+    def hdfs_throughput(self, op_name: str) -> float:
+        """The 5-server HDFS setup flooded with one operation type."""
+        if op_name in WRITE_OPS:
+            return 1.0 / self.cost.hdfs_write_cost
+        service = self.cost.hdfs_pure_read_cost
+        handler_bound = (self.cost.hdfs_handlers
+                         / (self.cost.client_nn_rtt + service))
+        return min(1.0 / service, handler_bound)
+
+    # -- Figure 7 -------------------------------------------------------------------------------
+
+    def figure7(self, profiles: dict[str, OpProfile],
+                nn_steps=tuple(range(5, 65, 5)),
+                ndb_nodes: int = 12) -> dict[str, dict]:
+        """Stacked throughput per op: increments for each +5 namenodes."""
+        results = {}
+        for op_name, profile in profiles.items():
+            series = [self.hopsfs_throughput(op_name, profile, n, ndb_nodes)
+                      for n in nn_steps]
+            results[op_name] = {
+                "nn_steps": list(nn_steps),
+                "hopsfs": series,
+                "hopsfs_max": series[-1],
+                "hdfs": self.hdfs_throughput(op_name),
+            }
+        return results

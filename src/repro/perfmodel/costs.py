@@ -1,0 +1,127 @@
+"""Calibration constants for the performance models.
+
+Sources and reasoning (per paper §7.1, the testbed is Dell R730xd, Xeon
+E5-2620 v3, 10 GbE; NDB 7.5.3 on 12 nodes with 22 threads each; HDFS
+2.7.2 with 240 handler threads on 5 servers):
+
+* **Network**: one-hop RTT on an unloaded 10 GbE LAN with kernel TCP is
+  ~100–300 µs for small RPCs; database round trips ride the same fabric
+  but include marshalling in the NDB API, hence a slightly larger value.
+* **NDB work per row** (``db_row_cost``): chosen so the *measured*
+  per-operation access profiles of the Spotify mix consume the cluster's
+  thread-seconds at ≈1.25 M ops/s on 12×22 threads — the paper's
+  saturation point. Sanity check: 12 nodes × 22 threads / 1.25 M ops/s ≈
+  211 µs of thread time per file system operation, and the recorded
+  Spotify-mix profile costs ≈200 µs with these constants.
+* **HDFS namesystem station**: the baseline is modelled as namenode
+  handlers in front of a single serialization station (the global
+  namesystem lock plus everything it protects). The two service times
+  are fitted to Table 2's four measured throughputs:
+  ``1/λ = (1-f)·x + f·y`` where f is the fraction of operations that
+  mutate the namespace (every mutation serializes on the lock, not just
+  file creates: f = 5.26 % for the Spotify mix, 22.6 % for the "20 %
+  file writes" variant). Solving the Spotify and 20 % rows gives
+  x ≈ 1.25 µs (read) and y ≈ 218 µs (write); the fit then reproduces the
+  5 % and 10 % rows within 6 %.
+* **Create pipeline** (``create_pipeline_mean``): both systems show
+  ~100 ms 99th-percentile latency for ``touch file`` (Fig. 9) although
+  their median metadata latencies differ by 10×; the common term is the
+  client-side create→write-pipeline→complete round trips and the edit
+  log / quorum waits, modelled as an exponential client-side delay that
+  does not occupy namenode resources.
+* **Subtree constants** derive from the database constants: quiescing
+  write-locks rows in pipelined scans (two overlapping scan streams);
+  deleting one file removes ≈4 rows (inode, block, lookup, replicas)
+  across ``subtree_parallelism`` parallel transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    # -- network ---------------------------------------------------------------
+    client_nn_rtt: float = 200e-6
+    nn_db_rtt: float = 500e-6
+    db_internode_hop: float = 150e-6
+
+    # -- NDB -------------------------------------------------------------------
+    ndb_threads_per_node: int = 22
+    db_row_cost: float = 9e-6        # LDM thread time per row read
+    db_trip_overhead: float = 18e-6  # TC work per round trip
+    #: thread time per row *written*: the write applies on both replicas
+    #: of the node group and pays redo logging plus its share of the
+    #: two-phase commit (≈4× a read)
+    db_write_row_cost: float = 36e-6
+    #: read-committed reads may be served by either replica of a hot row
+    hot_row_replicas: int = 2
+
+    # -- HopsFS namenode ---------------------------------------------------------
+    nn_handlers: int = 64
+    nn_cpu_per_op: float = 40e-6
+
+    # -- HDFS --------------------------------------------------------------------
+    hdfs_handlers: int = 240
+    hdfs_read_cost: float = 1.25e-6  # fitted to Table 2 (see module docstring)
+    hdfs_write_cost: float = 218e-6  # fitted to Table 2
+    #: service time for a *flood* of one read operation (Figure 7). The
+    #: mix-fitted read residual above hides per-RPC costs that writes'
+    #: lock tenure absorbs; a pure read stream pays lock acquisition,
+    #: block-map lookup and response marshalling itself — production HDFS
+    #: namenodes measure 100–200 K single-op reads/s.
+    hdfs_pure_read_cost: float = 6e-6
+    hdfs_journal_sync_mean: float = 2e-3  # group-commit wait, outside the lock
+
+    # -- client-side create pipeline ------------------------------------------------
+    create_pipeline_mean: float = 22e-3
+
+    #: Number of directories being written concurrently. Namespace
+    #: mutations X-lock the parent directory row for the duration of the
+    #: transaction (§5.2.1), so creates into the same directory serialize.
+    #: The trace's ~40 K daily jobs write into thousands of distinct
+    #: output directories, so per-directory contention is light; the
+    #: stations exist to surface the serialization mechanism (and the
+    #: hotspot ablation shrinks this number).
+    concurrent_write_directories: int = 2000
+
+    # -- failover (§7.6.1) -----------------------------------------------------------
+    hdfs_failover_downtime_min: float = 8.0
+    hdfs_failover_downtime_max: float = 10.0
+
+    # -- block reports (§7.7) -----------------------------------------------------------
+    block_report_batch: int = 512
+    #: HDFS applies a report in-heap under the namesystem lock
+    hdfs_block_report_per_block: float = 0.165e-6
+
+    # -- subtree operations (§6, Table 4) --------------------------------------------------
+    #: overlapping scan streams while quiescing a single directory
+    subtree_scan_pipelines: int = 2
+    #: parallel transactions in delete phase 3
+    subtree_parallelism: int = 4
+    #: database rows removed per deleted file (inode, blocks, lookup,
+    #: replicas and the invalidation entries they generate)
+    delete_rows_per_file: float = 5.0
+    #: fixed protocol cost (phase-1 lock tx + phase-3 root tx + retries)
+    subtree_base_latency: float = 0.45
+    #: HDFS in-heap traversal costs (fitted to Table 4's HDFS column)
+    hdfs_subtree_move_per_inode: float = 0.21e-6
+    hdfs_subtree_delete_per_inode: float = 0.47e-6
+    hdfs_subtree_base_latency: float = 0.14
+
+    # -- derived helpers ---------------------------------------------------------------------
+    def db_trip_service(self, rows: int) -> float:
+        """LDM+TC thread time consumed by one round trip touching rows."""
+        return self.db_trip_overhead + rows * self.db_row_cost
+
+    def ndb_total_threads(self, ndb_nodes: int) -> int:
+        return ndb_nodes * self.ndb_threads_per_node
+
+    def subtree_quiesce_per_inode(self) -> float:
+        return self.db_row_cost / self.subtree_scan_pipelines * 1.1
+
+    def subtree_delete_per_inode(self) -> float:
+        return (self.subtree_quiesce_per_inode()
+                + self.delete_rows_per_file * self.db_row_cost
+                / self.subtree_parallelism)

@@ -1,0 +1,44 @@
+"""Result containers shared by the performance models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util.stats import LatencyReservoir, ThroughputWindow
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    system: str
+    duration: float
+    scale: float
+    operations: int = 0
+    #: overall latency reservoir (seconds)
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    #: per-operation latency reservoirs
+    latency_by_op: dict[str, LatencyReservoir] = field(default_factory=dict)
+    ops_by_type: dict[str, int] = field(default_factory=dict)
+    #: completions per time bucket (for failover timelines)
+    timeline: Optional[ThroughputWindow] = None
+    clients: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second at the modelled (de-scaled) size."""
+        if self.duration <= 0:
+            return 0.0
+        return self.operations / self.duration / self.scale
+
+    @property
+    def raw_throughput(self) -> float:
+        return self.operations / self.duration if self.duration else 0.0
+
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+    def p99_latency(self, op: Optional[str] = None) -> float:
+        reservoir = self.latency if op is None else self.latency_by_op[op]
+        return reservoir.percentile(99.0)

@@ -1,0 +1,38 @@
+"""A small discrete-event simulation (DES) kernel.
+
+The performance evaluation of the paper ran on a 72-node testbed; this
+kernel lets us model that testbed (namenode handler threads, NDB
+transaction-coordinator threads, network round trips, the HDFS global lock)
+in simulated time. It is a from-scratch, generator-based kernel in the
+style of SimPy:
+
+* processes are Python generators that ``yield`` events;
+* :class:`Environment` keeps a time-ordered event heap and resumes
+  processes when the events they wait on fire;
+* :class:`Resource` models a k-server FCFS station (thread pools, NICs);
+* :class:`RWLock` models a readers-writer lock (the HDFS namesystem lock).
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupted,
+    Process,
+    SimError,
+)
+from repro.sim.resources import Resource, RWLock, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupted",
+    "Process",
+    "Resource",
+    "RWLock",
+    "SimError",
+    "Store",
+]

@@ -1,0 +1,338 @@
+"""DES kernel: environment, events and processes.
+
+A *process* is a generator. Each value it yields must be an
+:class:`Event`; the process is suspended until the event is *triggered*
+(succeeded or failed). A succeeded event resumes the generator with the
+event's value via ``send``; a failed event resumes it by ``throw``-ing the
+exception. The environment executes triggered events in (time, insertion
+order) so simultaneous events run deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    ``cause`` carries whatever the interrupter supplied (e.g. a reason
+    string such as ``"namenode-killed"``).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once, either with :meth:`succeed` (carrying an
+    optional value) or :meth:`fail` (carrying an exception). Callbacks run
+    when the environment pops the event from its heap.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimError("event not yet triggered")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimError("event not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        if self._triggered:
+            raise SimError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.env._schedule(self, delay)
+        return self
+
+    # Internal: deliver to callbacks. Called by the environment.
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Succeeds when all child events have succeeded.
+
+    The value is the list of child values in the order given. Fails fast
+    with the first child failure.
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.callbacks.append(self._on_child)
+            if ev.processed:  # already delivered before we attached
+                self._on_child(ev)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds (or fails) with the first child event to trigger."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise SimError("AnyOf requires at least one event")
+        for ev in self._children:
+            ev.callbacks.append(self._on_child)
+            if ev.processed:
+                self._on_child(ev)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed((ev, ev._value))
+        else:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+
+
+class Process(Event):
+    """Wraps a generator; is itself an event that fires on completion.
+
+    The process's value is the generator's return value. An unhandled
+    exception in the generator fails the process event; if nobody is
+    waiting on the process, the exception propagates out of
+    :meth:`Environment.run` (errors never pass silently).
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        gen: Generator[Event, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(env)
+        if not hasattr(gen, "send"):
+            raise SimError("Process requires a generator")
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name
+        # Bootstrap: resume once at the current time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        A process cannot interrupt itself, and interrupting a finished
+        process is a no-op (it already has a result).
+        """
+        if self._triggered:
+            return
+        if self.env.active_process is self:
+            raise SimError("a process cannot interrupt itself")
+        target = self._waiting_on
+        if target is not None and self in [
+            getattr(cb, "__self__", None) for cb in target.callbacks
+        ]:
+            target.callbacks = [
+                cb for cb in target.callbacks if getattr(cb, "__self__", None) is not self
+            ]
+        self._waiting_on = None
+        kick = Event(self.env)
+        kick.callbacks.append(
+            lambda ev, c=cause: self._step(throw=Interrupted(c))
+        )
+        kick.succeed()
+
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev._exc is not None:
+            self._step(throw=ev._exc)
+        else:
+            self._step(send=ev._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            return
+        self.env.active_process = self
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must propagate via event
+            self.fail(exc)
+            self.env._defunct.append(self)
+            return
+        finally:
+            self.env.active_process = None
+        if not isinstance(target, Event):
+            self.fail(SimError(f"process {self.name!r} yielded non-event {target!r}"))
+            self.env._defunct.append(self)
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+        if target.processed:
+            # Event already delivered; resume at the current time.
+            kick = Event(self.env)
+            kick.callbacks.append(lambda _ev: self._resume(target))
+            kick.succeed()
+
+
+class Environment:
+    """The simulation scheduler.
+
+    Time is a float in arbitrary units (this library uses seconds
+    throughout). Events scheduled at the same time run in insertion order.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.active_process: Optional[Process] = None
+        self._defunct: list[Process] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "process") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        if not self._heap:
+            raise SimError("no scheduled events")
+        t, _seq, event = heapq.heappop(self._heap)
+        self._now = t
+        event._run_callbacks()
+        self._raise_defunct()
+
+    def _raise_defunct(self) -> None:
+        """Propagate failures of processes nobody waited on."""
+        while self._defunct:
+            proc = self._defunct.pop()
+            if not proc.callbacks and proc._exc is not None:
+                raise proc._exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimError("cannot run backwards in time")
+        while self._heap:
+            t = self._heap[0][0]
+            if until is not None and t > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` is processed; return its value."""
+        while not event.processed:
+            if not self._heap:
+                raise SimError("event will never trigger: heap empty")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimError("event did not trigger before limit")
+            self.step()
+        return event.value

@@ -1,0 +1,13 @@
+"""Small shared utilities: clocks, statistics helpers, id generation."""
+
+from repro.util.clock import Clock, ManualClock, SystemClock
+from repro.util.stats import LatencyReservoir, ThroughputWindow, percentile
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "LatencyReservoir",
+    "ThroughputWindow",
+    "percentile",
+]

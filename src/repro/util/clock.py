@@ -1,0 +1,70 @@
+"""Clock abstraction.
+
+Functional components (leases, leader election, subtree-lock reclamation,
+lock timeouts) need a notion of "now". Production code would use the wall
+clock; tests need to advance time deterministically. Every component
+therefore takes a :class:`Clock` and the test suite passes a
+:class:`ManualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing source of seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time via :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to; thread safe.
+
+    ``sleep`` blocks the calling thread until another thread advances the
+    clock far enough, which lets multi-threaded integration tests control
+    time without real delays.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot move time backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def set(self, now: float) -> None:
+        with self._cond:
+            if now < self._now:
+                raise ValueError("cannot move time backwards")
+            self._now = now
+            self._cond.notify_all()
+
+    def sleep(self, seconds: float) -> None:
+        with self._cond:
+            deadline = self._now + seconds
+            while self._now < deadline:
+                self._cond.wait()

@@ -1,0 +1,72 @@
+"""A readers-writer lock for threads, with writer preference.
+
+Models the HDFS namesystem's global ``FSNamesystem`` lock: any number of
+readers, one writer, and queued writers block new readers (otherwise a
+read-heavy workload starves writers forever). Used by the HDFS baseline's
+in-heap namesystem; the DES twin lives in :class:`repro.sim.RWLock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        # monitoring
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.read_acquisitions += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without holder")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+            self.write_acquisitions += 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without holder")
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,126 @@
+"""Statistics helpers used by both the functional layer and the simulator.
+
+These are deliberately dependency-light (plain Python + math) so they can be
+used in hot paths; numpy is only used where it clearly wins.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Linear-interpolation percentile of an already *sorted* list.
+
+    ``p`` is in [0, 100]. Returns ``nan`` for an empty list.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = rank - lo
+    # lo + (hi-lo)*frac is exact when both endpoints are equal and stays
+    # within [lo, hi] — the a*(1-f)+b*f form can fall below min(a, b)
+    # through floating-point rounding
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
+
+
+class LatencyReservoir:
+    """Reservoir sampler for latency observations.
+
+    Keeps at most ``capacity`` samples, uniformly sampled over the stream
+    (Algorithm R), plus exact count/mean/max so headline numbers are exact
+    even when percentiles are approximate.
+    """
+
+    def __init__(self, capacity: int = 20000, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self._capacity:
+                self._samples[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        return percentile(sorted(self._samples), p)
+
+    def percentiles(self, ps: list[float]) -> dict[float, float]:
+        ordered = sorted(self._samples)
+        return {p: percentile(ordered, p) for p in ps}
+
+
+@dataclass
+class ThroughputWindow:
+    """Counts events into fixed-width time buckets.
+
+    Used to build throughput-over-time series (e.g. the failover plot,
+    Figure 10) from completion events.
+    """
+
+    width: float = 1.0
+    _buckets: dict[int, int] = field(default_factory=dict)
+
+    def record(self, t: float, n: int = 1) -> None:
+        self._buckets[int(t // self.width)] = (
+            self._buckets.get(int(t // self.width), 0) + n
+        )
+
+    def series(self) -> list[tuple[float, float]]:
+        """Return ``(bucket_start_time, events_per_second)`` pairs, sorted."""
+        return [
+            (idx * self.width, count / self.width)
+            for idx, count in sorted(self._buckets.items())
+        ]
+
+    def rate_at(self, t: float) -> float:
+        return self._buckets.get(int(t // self.width), 0) / self.width
+
+
+class Counter:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def add(self, name: str, n: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"

@@ -1,0 +1,30 @@
+"""Workload synthesis reproducing the paper's Spotify trace statistics.
+
+The evaluation (§7.2) characterizes the workload by: the operation mix of
+Table 1, average path depth 7, average inode name length 34, 16 files and
+2 subdirectories per directory, heavy-tailed file popularity (3 % of
+files receive ≈ 80 % of accesses [1]), plus write-intensive synthetic
+variants (Table 2) and a hotspot variant where every path shares a common
+ancestor (§7.2.1). This package generates namespaces and operation
+streams with exactly those statistics, deterministically from a seed.
+"""
+
+from repro.workload.spec import (
+    SPOTIFY_WORKLOAD,
+    WorkloadSpec,
+    hotspot_workload,
+    write_intensive_workload,
+)
+from repro.workload.namespace import NamespaceConfig, NamespaceModel
+from repro.workload.generator import FileSystemOp, OperationGenerator
+
+__all__ = [
+    "FileSystemOp",
+    "NamespaceConfig",
+    "NamespaceModel",
+    "OperationGenerator",
+    "SPOTIFY_WORKLOAD",
+    "WorkloadSpec",
+    "hotspot_workload",
+    "write_intensive_workload",
+]

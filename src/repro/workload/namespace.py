@@ -1,0 +1,102 @@
+"""Synthetic namespace generation matching the Spotify statistics (§7.2).
+
+The published shape: 13 M directories / 218 M files (≈ 16 files and 2
+subdirectories per directory), average path depth 7, average name length
+34 characters. The generator builds a deterministic random tree with
+those parameters at any requested scale.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class NamespaceConfig:
+    files_per_dir: float = 16.0
+    subdirs_per_dir: float = 2.0
+    mean_depth: int = 7
+    mean_name_length: int = 34
+    seed: int = 42
+
+
+@dataclass
+class NamespaceModel:
+    """A generated namespace: directory and file paths."""
+
+    config: NamespaceConfig
+    directories: list[str] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+
+    @classmethod
+    def generate(cls, num_files: int,
+                 config: NamespaceConfig | None = None,
+                 root: str = "") -> "NamespaceModel":
+        """Build a namespace with roughly ``num_files`` files.
+
+        The tree grows breadth-first: each directory receives
+        ``subdirs_per_dir`` children (±1) until the target depth is
+        reached, then files are distributed ``files_per_dir`` at a time.
+        ``root`` prefixes every path (the §7.2.1 hotspot uses
+        ``/shared-dir``).
+        """
+        config = config or NamespaceConfig()
+        rng = random.Random(config.seed)
+        model = cls(config=config)
+        # Directory skeleton: enough directories to hold the files at the
+        # configured fan-out, spread around the target depth.
+        num_dirs = max(1, round(num_files / config.files_per_dir))
+        frontier = [root if root else ""]
+        all_dirs: list[str] = []
+        while len(all_dirs) < num_dirs:
+            parent = frontier.pop(0) if frontier else rng.choice(all_dirs)
+            depth = parent.count("/")
+            fanout = max(1, round(rng.gauss(config.subdirs_per_dir, 0.7)))
+            for _ in range(fanout):
+                if len(all_dirs) >= num_dirs:
+                    break
+                name = _random_name(rng, config.mean_name_length)
+                path = f"{parent}/{name}"
+                all_dirs.append(path)
+                # keep growing down until around the mean depth, then stop
+                if depth + 1 < config.mean_depth - 1 or rng.random() < 0.3:
+                    frontier.append(path)
+        model.directories = all_dirs
+        # Files: prefer the deepest directories so mean file depth ≈ 7.
+        weights = [1 + d.count("/") for d in all_dirs]
+        for _ in range(num_files):
+            parent = rng.choices(all_dirs, weights=weights)[0]
+            name = _random_name(rng, config.mean_name_length)
+            model.files.append(f"{parent}/{name}")
+        return model
+
+    # -- statistics -----------------------------------------------------------------
+
+    def mean_file_depth(self) -> float:
+        if not self.files:
+            return 0.0
+        return sum(f.count("/") for f in self.files) / len(self.files)
+
+    def mean_name_length(self) -> float:
+        names = [p.rsplit("/", 1)[-1] for p in self.files + self.directories]
+        return sum(len(n) for n in names) / len(names) if names else 0.0
+
+    def files_per_directory(self) -> float:
+        if not self.directories:
+            return 0.0
+        return len(self.files) / len(self.directories)
+
+    def iter_paths(self) -> Iterator[str]:
+        yield from self.directories
+        yield from self.files
+
+
+_ALPHABET = string.ascii_lowercase + string.digits + "-_"
+
+
+def _random_name(rng: random.Random, mean_length: int) -> str:
+    length = max(3, round(rng.gauss(mean_length, 6)))
+    return "".join(rng.choice(_ALPHABET) for _ in range(length))

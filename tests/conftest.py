@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hopsfs import HopsFSCluster, HopsFSConfig
+from repro.ndb import NDBConfig
+from repro.util.clock import ManualClock
+
+
+def make_hopsfs(num_namenodes=2, num_datanodes=3, clock=None,
+                ndb_nodes=4, ndb_replication=2, **config_overrides):
+    """Build a small HopsFS cluster with fast lock timeouts for tests."""
+    config_kwargs = dict(subtree_batch_size=8, subtree_parallelism=2)
+    config_kwargs.update(config_overrides)
+    config = HopsFSConfig(clock=clock or ManualClock(), **config_kwargs)
+    return HopsFSCluster(
+        num_namenodes=num_namenodes, num_datanodes=num_datanodes,
+        config=config,
+        ndb_config=NDBConfig(num_datanodes=ndb_nodes,
+                             replication=ndb_replication,
+                             lock_timeout=1.0))
+
+
+@pytest.fixture
+def fs():
+    """A 2-namenode, 3-datanode HopsFS cluster on a 4-node NDB."""
+    return make_hopsfs()
+
+
+@pytest.fixture
+def client(fs):
+    return fs.client("test-client")

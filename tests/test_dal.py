@@ -1,0 +1,102 @@
+"""DAL driver parity tests: both engines satisfy the same contract."""
+
+import pytest
+
+from repro.dal import MemoryDriver, NDBDriver
+from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.ndb import AccessKind, LockMode, NDBConfig, TableSchema
+
+SCHEMA = TableSchema(
+    name="items",
+    columns=("pid", "name", "value"),
+    primary_key=("pid", "name"),
+    partition_key=("pid",),
+    indexes={"by_value": ("value",)},
+)
+
+
+@pytest.fixture(params=["ndb", "memory"])
+def driver(request):
+    if request.param == "ndb":
+        drv = NDBDriver(config=NDBConfig(num_datanodes=2, replication=2,
+                                         lock_timeout=0.4))
+    else:
+        drv = MemoryDriver()
+    drv.create_table(SCHEMA)
+    return drv
+
+
+def test_engine_name(driver):
+    assert driver.engine_name
+
+
+def test_crud_roundtrip(driver):
+    session = driver.session()
+
+    def create(tx):
+        tx.insert("items", {"pid": 1, "name": "a", "value": 10})
+
+    session.run(create)
+    assert driver.table_size("items") == 1
+
+    def bump(tx):
+        row = tx.read("items", (1, "a"), lock=LockMode.EXCLUSIVE)
+        tx.update("items", (1, "a"), {"value": row["value"] + 1})
+
+    session.run(bump)
+    value = session.run(lambda tx: tx.read("items", (1, "a"))["value"])
+    assert value == 11
+
+    session.run(lambda tx: tx.delete("items", (1, "a")))
+    assert driver.table_size("items") == 0
+
+
+def test_duplicate_and_missing(driver):
+    session = driver.session()
+    session.run(lambda tx: tx.insert("items", {"pid": 1, "name": "a", "value": 1}))
+    with pytest.raises(DuplicateKeyError):
+        session.run(lambda tx: tx.insert("items", {"pid": 1, "name": "a", "value": 2}))
+    with pytest.raises(NoSuchRowError):
+        session.run(lambda tx: tx.update("items", (9, "x"), {"value": 0}))
+
+
+def test_ppis_filters_partition(driver):
+    session = driver.session()
+
+    def fill(tx):
+        for pid in (1, 2):
+            for i in range(4):
+                tx.insert("items", {"pid": pid, "name": f"n{i}", "value": i})
+
+    session.run(fill)
+    rows = session.run(lambda tx: tx.ppis("items", {"pid": 1}))
+    assert len(rows) == 4 and all(r["pid"] == 1 for r in rows)
+
+
+def test_batch_read_order_preserved(driver):
+    session = driver.session()
+    session.run(lambda tx: tx.insert("items", {"pid": 1, "name": "a", "value": 1}))
+    rows = session.run(
+        lambda tx: tx.read_batch("items", [(1, "a"), (1, "missing")])
+    )
+    assert rows[0]["value"] == 1 and rows[1] is None
+
+
+def test_index_scan(driver):
+    session = driver.session()
+
+    def fill(tx):
+        for i in range(6):
+            tx.insert("items", {"pid": i, "name": "x", "value": i % 2})
+
+    session.run(fill)
+    rows = session.run(lambda tx: tx.index_scan("items", "by_value", (1,)))
+    assert len(rows) == 3
+
+
+def test_stats_recorded(driver):
+    session = driver.session()
+    session.run(lambda tx: tx.insert("items", {"pid": 1, "name": "a", "value": 1}))
+    session.run(lambda tx: tx.read("items", (1, "a")))
+    assert session.stats.count(AccessKind.PK) == 1
+    assert session.stats.count(AccessKind.COMMIT) >= 1

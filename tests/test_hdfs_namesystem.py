@@ -1,0 +1,192 @@
+"""Tests for the HDFS baseline namesystem and edit log."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileAlreadyExistsError,
+    FileNotFoundError_,
+    InvalidPathError,
+    LeaseConflictError,
+    QuotaExceededError,
+)
+from repro.hdfs.editlog import JournalNode, QuorumJournalManager
+from repro.hdfs.namesystem import FSNamesystem
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def ns():
+    return FSNamesystem(clock=ManualClock())
+
+
+class TestNamesystemOps:
+    def test_mkdirs_and_stat(self, ns):
+        ns.mkdirs("/a/b")
+        assert ns.get_file_info("/a/b").is_dir
+
+    def test_create_and_list(self, ns):
+        ns.create("/d/x", client="c") if ns.mkdirs("/d") else None
+        listing = ns.list_status("/d")
+        assert listing.names() == ["x"]
+
+    def test_create_requires_parent(self, ns):
+        with pytest.raises(FileNotFoundError_):
+            ns.create("/no/parent", client="c")
+
+    def test_duplicate_create(self, ns):
+        ns.mkdirs("/")
+        ns.create("/f", client="c")
+        with pytest.raises(FileAlreadyExistsError):
+            ns.create("/f", client="c")
+
+    def test_delete_nonempty_needs_recursive(self, ns):
+        ns.mkdirs("/d")
+        ns.create("/d/f", client="c")
+        with pytest.raises(DirectoryNotEmptyError):
+            ns.delete("/d")
+        assert ns.delete("/d", recursive=True)
+
+    def test_rename(self, ns):
+        ns.mkdirs("/d")
+        ns.create("/d/a", client="c")
+        assert ns.rename("/d/a", "/d/b")
+        assert ns.get_file_info("/d/a") is None
+        assert ns.get_file_info("/d/b") is not None
+
+    def test_rename_under_itself(self, ns):
+        ns.mkdirs("/d/sub")
+        with pytest.raises(InvalidPathError):
+            ns.rename("/d", "/d/sub/x")
+
+    def test_block_allocation_and_complete(self, ns):
+        ns.mkdirs("/")
+        ns.create("/f", client="c")
+        block = ns.add_block("/f", "c", targets=[1, 2])
+        ns.block_received(1, block.block_id, 100)
+        ns.block_received(2, block.block_id, 100)
+        assert ns.complete("/f", "c")
+        assert ns.get_file_info("/f").size == 100
+
+    def test_lease_enforced(self, ns):
+        ns.create("/f", client="alice")
+        with pytest.raises(LeaseConflictError):
+            ns.add_block("/f", "bob", targets=[])
+
+    def test_quota_enforced(self, ns):
+        ns.mkdirs("/q")
+        ns.set_quota("/q", 2, None)
+        ns.create("/q/a", client="c")
+        with pytest.raises(QuotaExceededError):
+            ns.create("/q/b", client="c")
+
+    def test_content_summary(self, ns):
+        ns.mkdirs("/top/sub")
+        ns.create("/top/f", client="c")
+        summary = ns.content_summary("/top")
+        assert summary.file_count == 1 and summary.directory_count == 1
+
+    def test_block_report_reconciliation(self, ns):
+        ns.create("/f", client="c")
+        block = ns.add_block("/f", "c", targets=[1])
+        result = ns.process_block_report(1, [(block.block_id, 50)])
+        assert result["added"] == 1
+        result = ns.process_block_report(1, [])
+        assert result["removed"] == 1
+
+    def test_block_report_orphans(self, ns):
+        result = ns.process_block_report(1, [(424242, 10)])
+        assert result["orphans"] == 1
+
+
+class TestEditLogReplay:
+    def replay_into(self, entries):
+        replica = FSNamesystem(clock=ManualClock())
+        for entry in entries:
+            replica.apply_edit(entry)
+        return replica
+
+    def make_logged_ns(self):
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        ns = FSNamesystem(clock=ManualClock(),
+                          edit_sink=lambda op, args: qjm.log(op, args))
+        return ns, qjm
+
+    def test_replay_reproduces_namespace(self):
+        ns, qjm = self.make_logged_ns()
+        ns.mkdirs("/a/b")
+        ns.create("/a/b/f", client="c")
+        block = ns.add_block("/a/b/f", "c", targets=[1])
+        ns.block_received(1, block.block_id, 42)
+        ns.complete("/a/b/f", "c")
+        ns.rename("/a/b/f", "/a/b/g")
+        ns.set_permission("/a/b/g", 0o600)
+        replica = self.replay_into(qjm.read_from(1))
+        assert replica.get_file_info("/a/b/g").size == 42
+        assert replica.get_file_info("/a/b/g").perm == 0o600
+        assert replica.get_file_info("/a/b/f") is None
+        assert replica.file_count() == ns.file_count()
+
+    def test_replay_preserves_inode_ids(self):
+        ns, qjm = self.make_logged_ns()
+        ns.mkdirs("/x/y")
+        ns.create("/x/y/f", client="c")
+        replica = self.replay_into(qjm.read_from(1))
+        assert (replica.get_file_info("/x/y/f").inode_id
+                == ns.get_file_info("/x/y/f").inode_id)
+
+    def test_replay_of_delete(self):
+        ns, qjm = self.make_logged_ns()
+        ns.mkdirs("/d")
+        ns.create("/d/f", client="c")
+        ns.delete("/d", recursive=True)
+        replica = self.replay_into(qjm.read_from(1))
+        assert replica.get_file_info("/d") is None
+
+
+class TestQuorumJournal:
+    def test_entry_durable_with_quorum(self):
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        journals[2].kill()
+        qjm.log("mkdirs", ("/a",))
+        assert len(qjm.read_from(1)) == 1
+
+    def test_quorum_loss_raises(self):
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        journals[0].kill()
+        journals[1].kill()
+        with pytest.raises(IOError):
+            qjm.log("mkdirs", ("/a",))
+
+    def test_minority_entries_not_durable(self):
+        """An entry acked by a minority is discarded by readers — the
+        lost-acknowledgement window of §2.1."""
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        journals[1].kill()
+        journals[2].kill()
+        with pytest.raises(IOError):
+            qjm.log("mkdirs", ("/lost",))
+        journals[1].restart()
+        journals[2].restart()
+        assert qjm.read_from(1) == []
+
+    def test_truncate_after_checkpoint(self):
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        for i in range(5):
+            qjm.log("mkdirs", (f"/d{i}",))
+        qjm.truncate_before(4)
+        remaining = qjm.read_from(1)
+        assert [e.txid for e in remaining] == [4, 5]
+
+    def test_five_journal_nodes_tolerate_two_failures(self):
+        journals = [JournalNode(i) for i in range(5)]
+        qjm = QuorumJournalManager(journals)
+        journals[0].kill()
+        journals[1].kill()
+        qjm.log("mkdirs", ("/ok",))
+        assert qjm.has_quorum()

@@ -1,0 +1,144 @@
+"""Additional HDFS namesystem tests: block sizes, usage accounting,
+edit-log ordering and the global-lock instrumentation."""
+
+import pytest
+
+from repro.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundError_,
+    LeaseConflictError,
+)
+from repro.hdfs.namesystem import FSNamesystem
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def ns():
+    return FSNamesystem(clock=ManualClock())
+
+
+class TestBlockAccounting:
+    def write(self, ns, path, sizes, client="c"):
+        ns.create(path, client=client)
+        for size in sizes:
+            block = ns.add_block(path, client, targets=[1, 2])
+            ns.block_received(1, block.block_id, size)
+            ns.block_received(2, block.block_id, size)
+        ns.complete(path, client)
+
+    def test_file_size_is_sum_of_blocks(self, ns):
+        self.write(ns, "/f", [100, 50, 25])
+        assert ns.get_file_info("/f").size == 175
+
+    def test_block_indexes_sequential(self, ns):
+        self.write(ns, "/f", [10, 10])
+        located = ns.get_block_locations("/f")
+        assert [b.index for b in located.blocks] == [0, 1]
+
+    def test_previous_block_completed_by_next_add(self, ns):
+        ns.create("/f", client="c")
+        first = ns.add_block("/f", "c", targets=[1])
+        ns.block_received(1, first.block_id, 5)
+        second = ns.add_block("/f", "c", targets=[1])
+        assert ns.blocks[first.block_id].state == "complete"
+        assert ns.blocks[second.block_id].state == "under_construction"
+
+    def test_content_summary_counts_sizes(self, ns):
+        ns.mkdirs("/d")
+        self.write(ns, "/d/a", [10])
+        self.write(ns, "/d/b", [20, 5])
+        summary = ns.content_summary("/d")
+        assert summary.length == 35
+
+    def test_usage_includes_replication(self, ns):
+        ns.mkdirs("/q")
+        self.write(ns, "/q/f", [10])
+        node = ns._lookup("/q/f")
+        node.replication = 3
+        ns_used, ds_used = ns._usage(ns._lookup("/q"))
+        assert ns_used == 2  # dir + file
+        assert ds_used == 30
+
+
+class TestLockInstrumentation:
+    def test_reads_take_read_lock(self, ns):
+        ns.mkdirs("/d")
+        before = ns.lock.read_acquisitions
+        ns.get_file_info("/d")
+        ns.list_status("/d")
+        assert ns.lock.read_acquisitions == before + 2
+
+    def test_writes_take_write_lock(self, ns):
+        before = ns.lock.write_acquisitions
+        ns.mkdirs("/a")
+        ns.create("/a/f", client="c")
+        ns.set_permission("/a/f", 0o600)
+        assert ns.lock.write_acquisitions >= before + 3
+
+
+class TestEditOrdering:
+    def test_edit_stream_is_ordered_and_gapless(self):
+        from repro.hdfs.editlog import JournalNode, QuorumJournalManager
+
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        ns = FSNamesystem(clock=ManualClock(),
+                          edit_sink=lambda op, args: qjm.log(op, args))
+        ns.mkdirs("/a")
+        ns.create("/a/f", client="c")
+        ns.set_permission("/a/f", 0o600)
+        ns.delete("/a", recursive=True)
+        txids = [e.txid for e in qjm.read_from(1)]
+        assert txids == list(range(1, len(txids) + 1))
+
+    def test_failed_ops_do_not_log(self):
+        from repro.hdfs.editlog import JournalNode, QuorumJournalManager
+
+        journals = [JournalNode(i) for i in range(3)]
+        qjm = QuorumJournalManager(journals)
+        ns = FSNamesystem(clock=ManualClock(),
+                          edit_sink=lambda op, args: qjm.log(op, args))
+        ns.mkdirs("/a")
+        logged_before = qjm.entries_logged
+        with pytest.raises(FileNotFoundError_):
+            ns.create("/missing/f", client="c")
+        with pytest.raises(FileAlreadyExistsError):
+            ns.mkdirs("/a/x") and ns.create("/a/x", client="c")
+        assert qjm.entries_logged <= logged_before + 1  # only the mkdir
+
+
+class TestLeaseEdgeCases:
+    def test_append_then_close_by_same_client(self, ns):
+        ns.mkdirs("/")
+        ns.create("/f", client="c")
+        ns.complete("/f", "c")
+        ns.append_file("/f", "c")
+        block = ns.add_block("/f", "c", targets=[1])
+        ns.block_received(1, block.block_id, 7)
+        assert ns.complete("/f", "c")
+        assert ns.get_file_info("/f").size == 7
+
+    def test_complete_by_wrong_client(self, ns):
+        ns.create("/f", client="alice")
+        with pytest.raises(LeaseConflictError):
+            ns.complete("/f", "bob")
+
+    def test_double_append_conflicts(self, ns):
+        ns.create("/f", client="c")
+        ns.complete("/f", "c")
+        ns.append_file("/f", "c")
+        with pytest.raises(LeaseConflictError):
+            ns.append_file("/f", "c")
+
+
+class TestFileCount:
+    def test_file_count_tracks_mutations(self, ns):
+        assert ns.file_count() == 0
+        ns.mkdirs("/d")
+        ns.create("/d/a", client="c")
+        ns.create("/d/b", client="c")
+        assert ns.file_count() == 2
+        ns.delete("/d/a")
+        assert ns.file_count() == 1
+        ns.delete("/d", recursive=True)
+        assert ns.file_count() == 0

@@ -1,0 +1,84 @@
+"""Tests for datanode decommissioning (graceful drain, no data loss)."""
+
+import pytest
+
+from tests.conftest import make_hopsfs
+
+
+def replicas_on(fs, dn_id):
+    session = fs.driver.session()
+    return session.run(lambda tx: tx.index_scan("replicas", "by_dn",
+                                                (dn_id,)))
+
+
+@pytest.fixture
+def loaded():
+    fs = make_hopsfs(num_namenodes=2, num_datanodes=4)
+    client = fs.client("decom")
+    for i in range(8):
+        client.write_file(f"/data/f{i}", bytes([i]) * 4, replication=2)
+    return fs, client
+
+
+def busiest_datanode(fs):
+    return max((dn for dn in fs.datanodes if dn.alive),
+               key=lambda dn: dn.block_count()).dn_id
+
+
+class TestDecommission:
+    def test_drain_queues_replication_work(self, loaded):
+        fs, _client = loaded
+        victim = busiest_datanode(fs)
+        queued = fs.start_decommission(victim)
+        assert queued > 0
+        assert not fs.decommission_complete(victim)
+
+    def test_drain_completes_after_housekeeping(self, loaded):
+        fs, client = loaded
+        victim = busiest_datanode(fs)
+        fs.start_decommission(victim)
+        for _ in range(6):
+            fs.tick()
+            if fs.decommission_complete(victim):
+                break
+        assert fs.decommission_complete(victim)
+
+    def test_no_new_replicas_on_draining_node(self, loaded):
+        fs, client = loaded
+        victim = busiest_datanode(fs)
+        before = len(replicas_on(fs, victim))
+        fs.start_decommission(victim)
+        for i in range(6):
+            client.write_file(f"/new/f{i}", b"x", replication=2)
+        assert len(replicas_on(fs, victim)) <= before
+
+    def test_finish_refuses_while_blocks_depend(self, loaded):
+        fs, _client = loaded
+        victim = busiest_datanode(fs)
+        fs.start_decommission(victim)
+        with pytest.raises(RuntimeError):
+            fs.finish_decommission(victim)
+
+    def test_full_lifecycle_no_data_loss(self, loaded):
+        fs, client = loaded
+        victim = busiest_datanode(fs)
+        fs.start_decommission(victim)
+        for _ in range(8):
+            fs.tick()
+            if fs.decommission_complete(victim):
+                break
+        fs.finish_decommission(victim)
+        fs.tick()
+        # every file is still fully readable after the node is gone
+        for i in range(8):
+            assert client.read_file(f"/data/f{i}") == bytes([i]) * 4
+        # and no replica rows reference the retired datanode
+        assert replicas_on(fs, victim) == []
+
+    def test_decommission_idle_datanode_is_immediate(self, loaded):
+        fs, _client = loaded
+        idle = fs.add_datanode()
+        fs.tick_heartbeats()
+        assert fs.start_decommission(idle.dn_id) == 0
+        assert fs.decommission_complete(idle.dn_id)
+        fs.finish_decommission(idle.dn_id)

@@ -1,0 +1,86 @@
+"""Tests for the inode hint cache (paper §5.1)."""
+
+import threading
+
+import pytest
+
+from repro.hopsfs.hintcache import InodeHintCache
+
+
+def test_get_miss_and_put_hit():
+    cache = InodeHintCache()
+    assert cache.get(1, "a") is None
+    cache.put(1, "a", inode_id=7, part_key=1, is_dir=True,
+              children_random=False)
+    hint = cache.get(1, "a")
+    assert hint.inode_id == 7 and hint.part_key == 1 and hint.is_dir
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_invalidate():
+    cache = InodeHintCache()
+    cache.put(1, "a", 7, 1, False)
+    cache.invalidate(1, "a")
+    assert cache.get(1, "a") is None
+    assert cache.invalidations == 1
+
+
+def test_invalidate_absent_is_noop():
+    cache = InodeHintCache()
+    cache.invalidate(1, "ghost")
+    assert cache.invalidations == 0
+
+
+def test_lru_eviction():
+    cache = InodeHintCache(capacity=3)
+    for i in range(3):
+        cache.put(1, f"n{i}", i, 1, False)
+    cache.get(1, "n0")  # refresh n0
+    cache.put(1, "n3", 3, 1, False)  # evicts n1 (least recently used)
+    assert cache.get(1, "n0") is not None
+    assert cache.get(1, "n1") is None
+    assert cache.get(1, "n2") is not None
+    assert cache.get(1, "n3") is not None
+
+
+def test_overwrite_updates_entry():
+    cache = InodeHintCache()
+    cache.put(1, "a", 7, 1, False)
+    cache.put(1, "a", 8, 2, True, children_random=True)
+    hint = cache.get(1, "a")
+    assert hint.inode_id == 8 and hint.children_random
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        InodeHintCache(capacity=0)
+
+
+def test_hit_rate():
+    cache = InodeHintCache()
+    cache.put(1, "a", 1, 1, False)
+    cache.get(1, "a")
+    cache.get(1, "b")
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_thread_safety_smoke():
+    cache = InodeHintCache(capacity=100)
+    errors = []
+
+    def worker(base):
+        try:
+            for i in range(500):
+                cache.put(base, f"n{i % 50}", i, base, False)
+                cache.get(base, f"n{i % 50}")
+                if i % 10 == 0:
+                    cache.invalidate(base, f"n{i % 50}")
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors

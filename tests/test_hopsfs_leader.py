@@ -1,0 +1,125 @@
+"""Tests for leader election through the database (paper §3, [56])."""
+
+from tests.conftest import make_hopsfs
+
+
+def heartbeat_rounds(fs, rounds):
+    for _ in range(rounds):
+        fs.tick_heartbeats()
+
+
+class TestLeaderElection:
+    def test_smallest_id_is_leader(self, fs):
+        heartbeat_rounds(fs, 2)
+        leader = fs.leader()
+        assert leader is not None
+        assert leader.nn_id == min(nn.nn_id for nn in fs.live_namenodes())
+
+    def test_all_namenodes_agree_on_leader(self, fs):
+        heartbeat_rounds(fs, 2)
+        ids = {nn.leader_election.leader_id() for nn in fs.live_namenodes()}
+        assert len(ids) == 1
+
+    def test_leader_fails_over(self, fs):
+        heartbeat_rounds(fs, 2)
+        old_leader = fs.leader()
+        old_leader.kill()
+        heartbeat_rounds(fs, 3)
+        new_leader = fs.leader()
+        assert new_leader is not None
+        assert new_leader.nn_id != old_leader.nn_id
+
+    def test_dead_namenode_detected(self, fs):
+        heartbeat_rounds(fs, 2)
+        victim, survivor = fs.namenodes[0], fs.namenodes[1]
+        assert not survivor._is_namenode_dead(victim.nn_id)
+        victim.kill()
+        heartbeat_rounds(fs, 3)
+        assert survivor._is_namenode_dead(victim.nn_id)
+
+    def test_dead_namenode_evicted_from_table(self, fs):
+        heartbeat_rounds(fs, 2)
+        victim = fs.namenodes[1]  # not the leader
+        victim.kill()
+        heartbeat_rounds(fs, 4)  # detection + leader eviction
+        session = fs.driver.session()
+        rows = session.run(lambda tx: tx.full_scan("le_descriptors"))
+        assert victim.nn_id not in {r["nn_id"] for r in rows}
+
+    def test_restarted_namenode_gets_new_id(self, fs):
+        old_ids = {nn.nn_id for nn in fs.namenodes}
+        fresh = fs.restart_namenode()
+        assert fresh.nn_id not in old_ids
+
+    def test_new_namenode_joins_and_is_seen(self, fs):
+        heartbeat_rounds(fs, 2)
+        fresh = fs.add_namenode()
+        heartbeat_rounds(fs, 2)
+        for nn in fs.live_namenodes():
+            assert not nn._is_namenode_dead(fresh.nn_id)
+
+    def test_graceful_stop_deregisters_immediately(self, fs):
+        heartbeat_rounds(fs, 2)
+        victim = fs.namenodes[1]
+        victim.stop()
+        session = fs.driver.session()
+        rows = session.run(lambda tx: tx.full_scan("le_descriptors"))
+        assert victim.nn_id not in {r["nn_id"] for r in rows}
+
+    def test_self_never_considered_dead(self, fs):
+        nn = fs.namenodes[0]
+        assert not nn._is_namenode_dead(nn.nn_id)
+
+    def test_unknown_id_considered_dead_after_rounds(self, fs):
+        heartbeat_rounds(fs, 2)
+        nn = fs.namenodes[0]
+        assert nn._is_namenode_dead(99_999)
+
+    def test_no_observations_means_alive(self, fs):
+        """Without any election round, death cannot be proven (§6.2
+        requires positive evidence before stealing a subtree lock)."""
+        from repro.hopsfs.namenode import NameNode
+
+        nn = NameNode(fs.driver, fs.config, nn_id=77)
+        assert not nn._is_namenode_dead(12345)
+
+
+class TestClientFailover:
+    def test_client_fails_over_transparently(self, fs):
+        client = fs.client("c")
+        client.mkdirs("/d")
+        for nn in list(fs.live_namenodes())[:-1]:
+            nn.kill()
+        assert client.exists("/d")  # re-executed on the survivor
+
+    def test_sticky_client_repins_after_failure(self, fs):
+        from repro.hopsfs.client import NamenodeSelectionPolicy
+
+        client = fs.client("c", policy=NamenodeSelectionPolicy.STICKY)
+        client.mkdirs("/d")
+        pinned = client._pick()
+        pinned.kill()
+        assert client.exists("/d")
+        assert client._pick().alive
+
+    def test_round_robin_spreads_operations(self, fs):
+        from repro.hopsfs.client import NamenodeSelectionPolicy
+
+        client = fs.client("c", policy=NamenodeSelectionPolicy.ROUND_ROBIN)
+        picks = {client._pick().nn_id for _ in range(10)}
+        assert len(picks) == len(fs.live_namenodes())
+
+    def test_no_downtime_during_rolling_restarts(self, fs):
+        """Figure 10's point: operations keep succeeding while namenodes
+        are killed and replaced one at a time."""
+        client = fs.client("c")
+        client.mkdirs("/work")
+        for round_no in range(3):
+            victim = fs.live_namenodes()[0]
+            victim.kill()
+            fs.restart_namenode()
+            fs.tick_heartbeats()
+            # operations never fail for the client
+            client.create(f"/work/f{round_no}")
+            assert client.exists(f"/work/f{round_no}")
+        assert len(client.list_status("/work").entries) == 3

@@ -1,0 +1,63 @@
+"""Tests for path parsing helpers."""
+
+import pytest
+
+from repro.errors import InvalidPathError
+from repro.hopsfs import paths
+
+
+def test_split_root():
+    assert paths.split_path("/") == []
+
+
+def test_split_normal():
+    assert paths.split_path("/a/b/c") == ["a", "b", "c"]
+
+
+def test_split_collapses_slashes():
+    assert paths.split_path("//a///b/") == ["a", "b"]
+
+
+def test_relative_path_rejected():
+    with pytest.raises(InvalidPathError):
+        paths.split_path("a/b")
+
+
+def test_empty_path_rejected():
+    with pytest.raises(InvalidPathError):
+        paths.split_path("")
+
+
+def test_dot_components_rejected():
+    with pytest.raises(InvalidPathError):
+        paths.split_path("/a/./b")
+    with pytest.raises(InvalidPathError):
+        paths.split_path("/a/../b")
+
+
+def test_join_and_normalize():
+    assert paths.join_path(["a", "b"]) == "/a/b"
+    assert paths.join_path([]) == "/"
+    assert paths.normalize("//x//y/") == "/x/y"
+
+
+def test_parent_and_basename():
+    assert paths.parent_path("/a/b/c") == "/a/b"
+    assert paths.parent_path("/a") == "/"
+    assert paths.basename("/a/b") == "b"
+    with pytest.raises(InvalidPathError):
+        paths.parent_path("/")
+
+
+def test_is_ancestor():
+    assert paths.is_ancestor("/a", "/a/b")
+    assert paths.is_ancestor("/", "/a")
+    assert not paths.is_ancestor("/a", "/a")
+    assert not paths.is_ancestor("/a/b", "/a")
+    assert not paths.is_ancestor("/a", "/ab")
+
+
+def test_is_same_or_ancestor():
+    assert paths.is_same_or_ancestor("/a", "/a")
+    assert paths.is_same_or_ancestor("/a", "/a/b/c")
+    assert not paths.is_same_or_ancestor("/a/b", "/a")

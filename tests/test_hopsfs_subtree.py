@@ -1,0 +1,238 @@
+"""Tests for the subtree operations protocol (paper §6).
+
+Covers locking, quiescing, batched bottom-up deletes, move/chmod/chown/
+set-quota phase-3 semantics, namenode-failure consistency and the lazy
+reclamation of stale subtree locks.
+"""
+
+import pytest
+
+from repro.errors import NameNodeUnavailableError, SubtreeLockedError
+from repro.hopsfs import schema as fs_schema
+from tests.conftest import make_hopsfs
+
+
+def build_tree(client, root="/tree", dirs=3, files_per_dir=5, depth=2):
+    """Create a multi-level tree; returns (#dirs, #files) created."""
+    total_dirs = total_files = 0
+    paths = [root]
+    for level in range(depth):
+        next_paths = []
+        for base in paths:
+            for d in range(dirs):
+                sub = f"{base}/d{level}_{d}"
+                client.mkdirs(sub)
+                total_dirs += 1
+                for f in range(files_per_dir):
+                    client.write_file(f"{sub}/f{f}", b"x")
+                    total_files += 1
+                next_paths.append(sub)
+        paths = next_paths
+    return total_dirs, total_files
+
+
+def subtree_rows(fs, table="active_subtree_ops"):
+    session = fs.driver.session()
+    return session.run(lambda tx: tx.full_scan(table))
+
+
+class TestSubtreeDelete:
+    def test_deletes_everything(self, fs, client):
+        dirs, files = build_tree(client, dirs=2, files_per_dir=3, depth=2)
+        assert client.delete("/tree", recursive=True)
+        assert not client.exists("/tree")
+        # the root inode is cached/immutable and never stored (§4.2.1),
+        # so a fully deleted namespace leaves zero inode rows
+        assert fs.driver.table_size("inodes") == 0
+        assert subtree_rows(fs) == []
+
+    def test_no_leftover_metadata(self, fs, client):
+        build_tree(client, dirs=2, files_per_dir=2, depth=1)
+        client.delete("/tree", recursive=True)
+        for table in ("blocks", "replicas", "leases", "urb", "prb"):
+            assert fs.driver.table_size(table) == 0
+
+    def test_uses_batched_transactions(self, fs, client):
+        """More inodes than one batch: forces multiple phase-3 txs."""
+        for i in range(20):  # batch size is 8 in the test fixture
+            client.write_file(f"/big/f{i}", b"")
+        assert client.delete("/big", recursive=True)
+        assert fs.driver.table_size("inodes") == 0
+
+    def test_concurrent_ops_blocked_then_resume(self, fs, client):
+        """Inode ops hitting a subtree lock abort and retry (§6.3)."""
+        client.create("/locked/f")
+        nn = fs.any_namenode()
+        ctx = nn._subtree_begin("/locked", "delete")
+        with pytest.raises(SubtreeLockedError):
+            nn.get_file_info("/locked/f")
+        nn._subtree_release(ctx)
+        assert nn.get_file_info("/locked/f") is not None
+
+    def test_subtree_lock_blocks_nested_subtree_op(self, fs, client):
+        client.create("/outer/inner/f")
+        nn = fs.any_namenode()
+        ctx = nn._subtree_begin("/outer", "delete")
+        other = fs.namenodes[1]
+        with pytest.raises(SubtreeLockedError):
+            other._subtree_begin("/outer/inner", "delete")
+        nn._subtree_release(ctx)
+
+    def test_ancestor_subtree_op_blocked_by_descendant(self, fs, client):
+        client.create("/outer/inner/f")
+        nn = fs.any_namenode()
+        ctx = nn._subtree_begin("/outer/inner", "delete")
+        other = fs.namenodes[1]
+        with pytest.raises(SubtreeLockedError):
+            other._subtree_begin("/outer", "delete")
+        nn._subtree_release(ctx)
+
+
+class TestSubtreeFailureHandling:
+    def test_crash_mid_delete_keeps_namespace_connected(self, fs):
+        """Post-order delete: a crash never orphans inodes (§6.2)."""
+        client = fs.client("c", seed=1)
+        build_tree(client, dirs=2, files_per_dir=4, depth=2)
+        victim = fs.namenodes[0]
+
+        def crash():
+            victim.alive = False
+            raise NameNodeUnavailableError("injected crash")
+
+        victim.failpoints["after_delete_level_2"] = crash
+        with pytest.raises(NameNodeUnavailableError):
+            victim.delete("/tree", recursive=True)
+        # the subtree root row is still present and connected (delete goes
+        # bottom-up); checked directly in the database because namenodes
+        # still consider the lock owner alive at this point
+        inodes = subtree_rows(fs, "inodes")
+        assert any(r["name"] == "tree" and r["parent_id"] == 1
+                   for r in inodes)
+        # fail the dead namenode out of the membership view
+        fs.tick_heartbeats()
+        fs.tick_heartbeats()
+        fs.tick_heartbeats()
+        # now ordinary resolution reclaims the stale lock lazily
+        survivor_client = fs.client("c2", seed=2)
+        assert survivor_client.exists("/tree")
+        # a re-submitted delete on another namenode finishes the job
+        assert survivor_client.delete("/tree", recursive=True)
+        assert not survivor_client.exists("/tree")
+        assert fs.driver.table_size("inodes") == 0
+
+    def test_stale_lock_reclaimed_lazily(self, fs, client):
+        client.create("/stuck/f")
+        victim = fs.namenodes[0]
+        ctx = victim._subtree_begin("/stuck", "delete")
+        victim.kill()
+        fs.tick_heartbeats()
+        fs.tick_heartbeats()
+        fs.tick_heartbeats()
+        # ordinary op through the flagged inode reclaims the lock (§6.2)
+        other = fs.client("other")
+        assert other.stat("/stuck/f") is not None
+        rows = subtree_rows(fs)
+        assert rows == []
+
+    def test_live_lock_not_reclaimed(self, fs, client):
+        client.create("/busy/f")
+        nn = fs.namenodes[0]
+        ctx = nn._subtree_begin("/busy", "delete")
+        fs.tick_heartbeats()  # nn still alive and heartbeating
+        other = fs.namenodes[1]
+        with pytest.raises(SubtreeLockedError):
+            other.get_file_info("/busy/f")
+        nn._subtree_release(ctx)
+
+    def test_failed_op_releases_lock(self, fs, client):
+        client.create("/d/f")
+        nn = fs.any_namenode()
+
+        def boom():
+            raise RuntimeError("injected")
+
+        nn.failpoints["after_quiesce"] = boom
+        with pytest.raises(RuntimeError):
+            nn.delete("/d", recursive=True)
+        nn.failpoints.clear()
+        # lock was released by the error path; the op can run again
+        assert nn.delete("/d", recursive=True)
+
+
+class TestSubtreeMove:
+    def test_move_big_directory(self, fs, client):
+        build_tree(client, dirs=2, files_per_dir=3, depth=2)
+        assert client.rename("/tree", "/relocated")
+        assert not client.exists("/tree")
+        assert client.exists("/relocated")
+        summary = client.content_summary("/relocated")
+        assert summary.file_count == 18  # 2 + 4 dirs, 3 files each
+
+    def test_move_into_subdir(self, fs, client):
+        client.write_file("/src/a/f", b"data")
+        client.mkdirs("/dst")
+        assert client.rename("/src", "/dst/src")
+        assert client.read_file("/dst/src/a/f") == b"data"
+
+    def test_move_clears_subtree_lock(self, fs, client):
+        client.create("/m/f")
+        client.rename("/m", "/n")
+        rows = subtree_rows(fs)
+        assert rows == []
+        session = fs.driver.session()
+        inodes = session.run(lambda tx: tx.full_scan("inodes"))
+        assert all(r["subtree_lock_owner"] == fs_schema.NO_LOCK
+                   for r in inodes)
+
+    def test_deep_paths_resolvable_after_move(self, fs, client):
+        client.write_file("/x/y/z/deep.txt", b"deep")
+        client.rename("/x/y", "/x/w")
+        assert client.read_file("/x/w/z/deep.txt") == b"deep"
+        # a second namenode with a cold cache also resolves the moved path
+        fresh = fs.add_namenode()
+        assert fresh.get_file_info("/x/w/z/deep.txt") is not None
+
+
+class TestSetQuota:
+    def test_quota_set_and_reported(self, fs, client):
+        client.write_file("/q/f1", b"12345", replication=1)
+        client.set_quota("/q", 10, 1000)
+        summary = client.content_summary("/q")
+        assert summary.ns_quota == 10 and summary.ds_quota == 1000
+
+    def test_ns_quota_enforced(self, fs, client):
+        from repro.errors import QuotaExceededError
+
+        client.mkdirs("/q")
+        client.set_quota("/q", 3, None)  # the dir itself counts as 1
+        client.create("/q/f1")
+        client.create("/q/f2")
+        fs.tick()  # fold quota updates so usage is visible
+        with pytest.raises(QuotaExceededError):
+            client.create("/q/f3")
+
+    def test_quota_usage_tracked_async(self, fs, client):
+        client.mkdirs("/q")
+        client.set_quota("/q", 100, None)
+        for i in range(5):
+            client.create(f"/q/f{i}")
+        fs.tick()
+        session = fs.driver.session()
+        rows = session.run(lambda tx: tx.full_scan("quotas"))
+        assert rows[0]["ns_used"] == 6  # dir + 5 files
+
+    def test_delete_releases_quota(self, fs, client):
+        client.mkdirs("/q")
+        client.set_quota("/q", 4, None)
+        client.create("/q/a")
+        client.create("/q/b")
+        fs.tick()
+        client.delete("/q/a")
+        fs.tick()
+        client.create("/q/c")  # fits again
+
+    def test_clear_quota(self, fs, client):
+        client.mkdirs("/q")
+        client.set_quota("/q", 5, None)
+        client.set_quota("/q", None, None)
+        assert client.content_summary("/q").ns_quota is None

@@ -1,0 +1,117 @@
+"""Unit tests for fragment storage and index maintenance."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.ndb.fragment import Fragment
+from repro.ndb.schema import TableSchema
+
+SCHEMA = TableSchema(
+    name="t",
+    columns=("a", "b", "v"),
+    primary_key=("a", "b"),
+    indexes={"by_v": ("v",), "by_a": ("a",)},
+)
+
+
+@pytest.fixture
+def fragment():
+    return Fragment(SCHEMA, partition_id=0)
+
+
+def row(a, b, v):
+    return {"a": a, "b": b, "v": v}
+
+
+class TestCrud:
+    def test_insert_get(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        assert fragment.get((1, "x"))["v"] == 10
+        assert len(fragment) == 1
+
+    def test_get_returns_copy(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        copy = fragment.get((1, "x"))
+        copy["v"] = 999
+        assert fragment.get((1, "x"))["v"] == 10
+
+    def test_duplicate_insert(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        with pytest.raises(DuplicateKeyError):
+            fragment.apply_insert(row(1, "x", 20))
+
+    def test_update(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        fragment.apply_update((1, "x"), row(1, "x", 20))
+        assert fragment.get((1, "x"))["v"] == 20
+
+    def test_update_missing(self, fragment):
+        with pytest.raises(NoSuchRowError):
+            fragment.apply_update((1, "x"), row(1, "x", 20))
+
+    def test_delete(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        fragment.apply_delete((1, "x"))
+        assert fragment.get((1, "x")) is None
+        with pytest.raises(NoSuchRowError):
+            fragment.apply_delete((1, "x"))
+
+
+class TestIndexMaintenance:
+    def test_index_lookup(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        fragment.apply_insert(row(2, "y", 10))
+        fragment.apply_insert(row(3, "z", 30))
+        hits = fragment.index_lookup("by_v", (10,))
+        assert {(r["a"], r["b"]) for r in hits} == {(1, "x"), (2, "y")}
+
+    def test_index_follows_update(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        fragment.apply_update((1, "x"), row(1, "x", 20))
+        assert fragment.index_lookup("by_v", (10,)) == []
+        assert len(fragment.index_lookup("by_v", (20,))) == 1
+
+    def test_index_follows_delete(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        fragment.apply_delete((1, "x"))
+        assert fragment.index_lookup("by_v", (10,)) == []
+
+    def test_index_lookup_with_predicate(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        fragment.apply_insert(row(1, "y", 10))
+        hits = fragment.index_lookup("by_v", (10,),
+                                     predicate=lambda r: r["b"] == "y")
+        assert len(hits) == 1
+
+
+class TestSnapshotRestore:
+    def test_snapshot_load_roundtrip(self, fragment):
+        for i in range(5):
+            fragment.apply_insert(row(i, "n", i * 10))
+        snapshot = fragment.snapshot()
+        other = Fragment(SCHEMA, partition_id=0)
+        other.load(snapshot)
+        assert len(other) == 5
+        assert other.index_lookup("by_v", (20,))[0]["a"] == 2
+
+    def test_snapshot_is_deep(self, fragment):
+        fragment.apply_insert(row(1, "x", 10))
+        snapshot = fragment.snapshot()
+        fragment.apply_update((1, "x"), row(1, "x", 99))
+        assert snapshot[(1, "x")]["v"] == 10
+
+    def test_apply_restore_insert_update_delete(self, fragment):
+        fragment.apply_restore((1, "x"), row(1, "x", 10))   # acts as insert
+        assert fragment.get((1, "x"))["v"] == 10
+        fragment.apply_restore((1, "x"), row(1, "x", 20))   # acts as update
+        assert fragment.get((1, "x"))["v"] == 20
+        assert len(fragment.index_lookup("by_v", (10,))) == 0
+        fragment.apply_restore((1, "x"), None)              # acts as delete
+        assert fragment.get((1, "x")) is None
+        assert len(fragment) == 0
+
+    def test_scan_with_predicate(self, fragment):
+        for i in range(10):
+            fragment.apply_insert(row(i, "n", i))
+        evens = fragment.scan(lambda r: r["v"] % 2 == 0)
+        assert len(evens) == 5

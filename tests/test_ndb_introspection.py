@@ -1,0 +1,147 @@
+"""NDB cluster introspection and engine edge cases."""
+
+import pytest
+
+from repro.errors import (
+    ClusterDownError,
+    NoSuchTableError,
+    SchemaError,
+)
+from repro.ndb import LockMode, NDBCluster, NDBConfig, TableSchema
+
+KV = TableSchema(name="kv", columns=("k", "v"), primary_key=("k",))
+
+
+@pytest.fixture
+def cluster():
+    c = NDBCluster(NDBConfig(num_datanodes=4, replication=2,
+                             lock_timeout=0.3))
+    c.create_table(KV)
+    return c
+
+
+class TestIntrospection:
+    def test_tables_listing(self, cluster):
+        cluster.create_table(TableSchema(name="aaa", columns=("x",),
+                                         primary_key=("x",)))
+        assert cluster.tables() == ["aaa", "kv"]
+
+    def test_duplicate_table_rejected(self, cluster):
+        with pytest.raises(SchemaError):
+            cluster.create_table(KV)
+
+    def test_unknown_table_everywhere(self, cluster):
+        with pytest.raises(NoSuchTableError):
+            cluster.table_size("ghost")
+        with pytest.raises(NoSuchTableError):
+            cluster.partition_sizes("ghost")
+
+    def test_partition_sizes_sum_to_table_size(self, cluster):
+        with cluster.begin() as tx:
+            for i in range(40):
+                tx.insert("kv", {"k": i, "v": i})
+        sizes = cluster.partition_sizes("kv")
+        assert sum(sizes.values()) == cluster.table_size("kv") == 40
+        assert len(sizes) == cluster.config.num_partitions
+
+    def test_rows_spread_over_partitions(self, cluster):
+        with cluster.begin() as tx:
+            for i in range(200):
+                tx.insert("kv", {"k": i, "v": i})
+        sizes = cluster.partition_sizes("kv")
+        assert sum(1 for s in sizes.values() if s > 0) >= 6  # of 8
+
+    def test_live_nodes(self, cluster):
+        assert cluster.live_nodes() == [0, 1, 2, 3]
+        cluster.kill_node(2)
+        assert cluster.live_nodes() == [0, 1, 3]
+
+
+class TestEngineEdgeCases:
+    def test_begin_on_fully_dead_cluster(self, cluster):
+        for node in range(4):
+            cluster.kill_node(node)
+        with pytest.raises(ClusterDownError):
+            cluster.begin()
+
+    def test_hint_on_dead_primary_falls_back(self, cluster):
+        pid = cluster.partition_for_values("kv", {"k": 7})
+        primary = cluster._primaries[pid]
+        cluster.kill_node(primary)
+        tx = cluster.begin(hint=("kv", {"k": 7}))  # must not fail
+        tx.write("kv", {"k": 7, "v": "ok"})
+        tx.commit()
+        with cluster.begin() as check:
+            assert check.read("kv", (7,))["v"] == "ok"
+
+    def test_locked_read_of_missing_row_reserves_key(self, cluster):
+        """Locking a nonexistent key serializes racing inserts — the
+        mechanism behind create-collision detection in HopsFS."""
+        import threading
+
+        from repro.errors import DuplicateKeyError, LockTimeoutError
+
+        tx1 = cluster.begin()
+        assert tx1.read("kv", (99,), lock=LockMode.EXCLUSIVE) is None
+        tx1.insert("kv", {"k": 99, "v": "first"})
+        outcome = []
+
+        def racer():
+            tx2 = cluster.begin()
+            try:
+                tx2.read("kv", (99,), lock=LockMode.EXCLUSIVE)
+                tx2.insert("kv", {"k": 99, "v": "second"})
+                tx2.commit()
+                outcome.append("second-won")
+            except (DuplicateKeyError, LockTimeoutError):
+                tx2.abort()
+                outcome.append("blocked")
+
+        t = threading.Thread(target=racer)
+        t.start()
+        tx1.commit()
+        t.join(timeout=5)
+        assert outcome == ["blocked"]
+        with cluster.begin() as check:
+            assert check.read("kv", (99,))["v"] == "first"
+
+    def test_scan_during_concurrent_commit_sees_committed_state(self, cluster):
+        with cluster.begin() as tx:
+            for i in range(10):
+                tx.insert("kv", {"k": i, "v": "old"})
+        writer = cluster.begin()
+        for i in range(10):
+            writer.update("kv", (i,), {"v": "new"})
+        # read-committed scan before the writer commits
+        with cluster.begin() as reader:
+            values = {r["v"] for r in reader.full_scan("kv")}
+        assert values == {"old"}
+        writer.commit()
+        with cluster.begin() as reader:
+            values = {r["v"] for r in reader.full_scan("kv")}
+        assert values == {"new"}
+
+    def test_operations_after_commit_rejected(self, cluster):
+        from repro.errors import TransactionAbortedError
+
+        tx = cluster.begin()
+        tx.write("kv", {"k": 1, "v": 1})
+        tx.commit()
+        with pytest.raises(TransactionAbortedError):
+            tx.read("kv", (1,))
+        with pytest.raises(TransactionAbortedError):
+            tx.commit()
+
+    def test_abort_is_idempotent(self, cluster):
+        tx = cluster.begin()
+        tx.abort()
+        tx.abort()  # no error
+
+    def test_ppis_requires_partition_key_coverage(self, cluster):
+        schema = TableSchema(name="wide", columns=("a", "b", "v"),
+                             primary_key=("a", "b"), partition_key=("a",))
+        cluster.create_table(schema)
+        with cluster.begin() as tx:
+            with pytest.raises(SchemaError):
+                tx.ppis("wide", {"b": 1})  # missing partition column
+            tx.abort()

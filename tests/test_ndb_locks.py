@@ -1,0 +1,217 @@
+"""Tests for the row-lock manager: modes, queues, deadlocks, timeouts."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
+from repro.ndb.locks import LockManager, LockMode
+
+
+class Owner:
+    """Opaque lock-owner token (stand-in for a transaction)."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"Owner({self.name})"
+
+
+@pytest.fixture
+def mgr():
+    return LockManager(timeout=0.5, deadlock_detection=True)
+
+
+def test_shared_locks_coexist(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.SHARED)
+    mgr.acquire(b, "k", LockMode.SHARED)
+    assert set(mgr.holders("k")) == {a, b}
+
+
+def test_read_committed_is_lock_free(mgr):
+    a = Owner("a")
+    mgr.acquire(a, "k", LockMode.READ_COMMITTED)
+    assert mgr.holders("k") == {}
+
+
+def test_exclusive_blocks_shared(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    with pytest.raises(LockTimeoutError):
+        mgr.acquire(b, "k", LockMode.SHARED, timeout=0.05)
+
+
+def test_shared_blocks_exclusive(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.SHARED)
+    with pytest.raises(LockTimeoutError):
+        mgr.acquire(b, "k", LockMode.EXCLUSIVE, timeout=0.05)
+
+
+def test_reentrant_acquisition(mgr):
+    a = Owner("a")
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    mgr.acquire(a, "k", LockMode.SHARED)  # X covers S
+    assert mgr.holders("k") == {a: LockMode.EXCLUSIVE}
+
+
+def test_sole_owner_upgrade_granted_immediately(mgr):
+    a = Owner("a")
+    mgr.acquire(a, "k", LockMode.SHARED)
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    assert mgr.holders("k") == {a: LockMode.EXCLUSIVE}
+
+
+def test_release_all_frees_everything(mgr):
+    a = Owner("a")
+    mgr.acquire(a, "k1", LockMode.EXCLUSIVE)
+    mgr.acquire(a, "k2", LockMode.SHARED)
+    assert mgr.held_keys(a) == {"k1", "k2"}
+    mgr.release_all(a)
+    assert mgr.held_keys(a) == set()
+    assert mgr.lock_table_size() == 0
+
+
+def test_waiter_granted_on_release(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    got = []
+
+    def waiter():
+        mgr.acquire(b, "k", LockMode.EXCLUSIVE, timeout=2.0)
+        got.append(True)
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    time.sleep(0.1)
+    assert not got
+    mgr.release_all(a)
+    t.join(timeout=2.0)
+    assert got == [True]
+    assert mgr.holders("k") == {b: LockMode.EXCLUSIVE}
+
+
+def test_fifo_fairness_no_writer_starvation(mgr):
+    """A queued X request must not be bypassed by later S requests."""
+    a, w, r2 = Owner("a"), Owner("writer"), Owner("late-reader")
+    mgr.acquire(a, "k", LockMode.SHARED)
+    order = []
+
+    def writer():
+        mgr.acquire(w, "k", LockMode.EXCLUSIVE, timeout=5.0)
+        order.append("w")
+        time.sleep(0.05)
+        mgr.release_all(w)
+
+    def late_reader():
+        time.sleep(0.1)  # queue behind the writer
+        mgr.acquire(r2, "k", LockMode.SHARED, timeout=5.0)
+        order.append("r2")
+        mgr.release_all(r2)
+
+    tw = threading.Thread(target=writer)
+    tr = threading.Thread(target=late_reader)
+    tw.start()
+    tr.start()
+    time.sleep(0.3)
+    mgr.release_all(a)
+    tw.join(timeout=2)
+    tr.join(timeout=2)
+    assert order == ["w", "r2"]
+
+
+def test_deadlock_detected_ab_ba(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k1", LockMode.EXCLUSIVE)
+    mgr.acquire(b, "k2", LockMode.EXCLUSIVE)
+    errors = []
+    barrier = threading.Barrier(2)
+
+    def t1():
+        barrier.wait()
+        try:
+            mgr.acquire(a, "k2", LockMode.EXCLUSIVE, timeout=5.0)
+        except (DeadlockError, TransactionAbortedError) as exc:
+            errors.append(exc)
+            mgr.release_all(a)
+
+    def t2():
+        barrier.wait()
+        try:
+            mgr.acquire(b, "k1", LockMode.EXCLUSIVE, timeout=5.0)
+        except (DeadlockError, TransactionAbortedError) as exc:
+            errors.append(exc)
+            mgr.release_all(b)
+
+    th1, th2 = threading.Thread(target=t1), threading.Thread(target=t2)
+    th1.start()
+    th2.start()
+    th1.join(timeout=5)
+    th2.join(timeout=5)
+    # At least one of the two must break the cycle via deadlock detection.
+    assert any(isinstance(e, DeadlockError) for e in errors)
+    assert mgr.deadlocks >= 1
+
+
+def test_upgrade_deadlock_detected(mgr):
+    """Two S holders both upgrading to X is the classic upgrade deadlock."""
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.SHARED)
+    mgr.acquire(b, "k", LockMode.SHARED)
+    errors = []
+
+    def upgrade(owner):
+        try:
+            mgr.acquire(owner, "k", LockMode.EXCLUSIVE, timeout=5.0)
+        except (DeadlockError, LockTimeoutError) as exc:
+            errors.append(exc)
+            mgr.release_all(owner)
+
+    t1 = threading.Thread(target=upgrade, args=(a,))
+    t2 = threading.Thread(target=upgrade, args=(b,))
+    t1.start()
+    t2.start()
+    t1.join(timeout=5)
+    t2.join(timeout=5)
+    assert errors, "one upgrader must fail"
+
+
+def test_abort_waiters_wakes_with_aborted_error(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    result = []
+
+    def waiter():
+        try:
+            mgr.acquire(b, "k", LockMode.EXCLUSIVE, timeout=5.0)
+        except TransactionAbortedError:
+            result.append("aborted")
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    time.sleep(0.1)
+    mgr.abort_waiters([b])
+    t.join(timeout=2)
+    assert result == ["aborted"]
+    mgr.release_all(b)  # clears the aborted flag
+
+
+def test_timeout_counter(mgr):
+    a, b = Owner("a"), Owner("b")
+    mgr.acquire(a, "k", LockMode.EXCLUSIVE)
+    with pytest.raises(LockTimeoutError):
+        mgr.acquire(b, "k", LockMode.SHARED, timeout=0.05)
+    assert mgr.timeouts == 1
+
+
+def test_lock_table_garbage_collected(mgr):
+    owners = [Owner(i) for i in range(50)]
+    for i, owner in enumerate(owners):
+        mgr.acquire(owner, f"k{i}", LockMode.EXCLUSIVE)
+    for owner in owners:
+        mgr.release_all(owner)
+    assert mgr.lock_table_size() == 0

@@ -1,0 +1,91 @@
+"""Unit tests for performance-model plumbing (not the calibration)."""
+
+import pytest
+
+from repro.perfmodel.costs import CostModel
+from repro.perfmodel.hopsfs_model import _distribute
+from repro.perfmodel.profiles import OpProfile, TripSpec
+
+
+class TestCostModelHelpers:
+    def test_db_trip_service(self):
+        cost = CostModel()
+        assert cost.db_trip_service(0) == pytest.approx(cost.db_trip_overhead)
+        assert cost.db_trip_service(10) == pytest.approx(
+            cost.db_trip_overhead + 10 * cost.db_row_cost)
+
+    def test_total_threads(self):
+        cost = CostModel()
+        assert cost.ndb_total_threads(12) == 264  # the paper's cluster
+
+    def test_subtree_constants_reproduce_table4_slopes(self):
+        cost = CostModel()
+        # mv slope ≈ 5.4 µs/inode, rm slope ≈ 14.5 µs/inode (Table 4)
+        assert cost.subtree_quiesce_per_inode() == pytest.approx(5.4e-6,
+                                                                 rel=0.25)
+        assert cost.subtree_delete_per_inode() == pytest.approx(14.5e-6,
+                                                                rel=0.25)
+
+    def test_hdfs_fit_reproduces_spotify_capacity(self):
+        cost = CostModel()
+        f = 0.0526  # total mutation fraction of the Spotify mix
+        capacity = 1.0 / ((1 - f) * cost.hdfs_read_cost
+                          + f * cost.hdfs_write_cost)
+        assert capacity == pytest.approx(78_900, rel=0.05)
+
+
+class TestDistribute:
+    def test_exact_division(self):
+        assert _distribute(12.0, 4) == [3, 3, 3, 3]
+
+    def test_remainder_spread(self):
+        assert _distribute(13.0, 4) == [4, 3, 3, 3]
+
+    def test_minimum_floor(self):
+        assert _distribute(1.5, 4) == [1, 1, 1, 1]
+
+    def test_total_preserved_when_above_floor(self):
+        for total in (7.3, 26.4, 64.0, 129.9):
+            split = _distribute(total, 12)
+            assert sum(split) == max(12, round(total))
+
+    def test_fractional_per_unit(self):
+        # 64 handlers x 0.05 scale x 60 namenodes = 192 total
+        split = _distribute(64 * 0.05 * 60, 60)
+        assert sum(split) == 192
+        assert max(split) - min(split) <= 1
+
+
+class TestOpProfile:
+    def test_db_thread_time(self):
+        profile = OpProfile(name="x", trips=(
+            TripSpec(kind="pk", table="t", rows=1, fanout=1, local=True),
+            TripSpec(kind="batched_pk", table="t", rows=7, fanout=4,
+                     local=False),
+        ))
+        assert profile.db_thread_time(10e-6, 20e-6) == pytest.approx(
+            (20 + 10) * 1e-6 + (20 + 70) * 1e-6)
+        assert profile.round_trips == 2
+
+    def test_all_shards_flag(self):
+        scan = TripSpec(kind="index_scan", table="t", rows=1, fanout=8,
+                        local=False)
+        pk = TripSpec(kind="pk", table="t", rows=1, fanout=1, local=True)
+        assert scan.all_shards and not pk.all_shards
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        from repro.perfmodel.hdfs_model import simulate_hdfs
+
+        a = simulate_hdfs(clients=100, duration=0.1, seed=3)
+        b = simulate_hdfs(clients=100, duration=0.1, seed=3)
+        assert a.operations == b.operations
+        assert a.latency.mean == b.latency.mean
+
+    def test_different_seed_different_result(self):
+        from repro.perfmodel.hdfs_model import simulate_hdfs
+
+        a = simulate_hdfs(clients=100, duration=0.1, seed=3)
+        b = simulate_hdfs(clients=100, duration=0.1, seed=4)
+        assert a.latency.mean != b.latency.mean

@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: the NDB engine vs a dict oracle, the lock manager's
+compatibility invariants, partition placement, the hint cache, path
+utilities and statistics helpers."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.hopsfs.hintcache import InodeHintCache
+from repro.hopsfs.paths import join_path, normalize, split_path
+from repro.ndb import LockMode, NDBCluster, NDBConfig, TableSchema
+from repro.ndb.locks import LockManager
+from repro.ndb.partition import PartitionMap, stable_hash
+from repro.util.stats import LatencyReservoir, percentile
+
+FAST = settings(max_examples=60, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# NDB engine vs dict oracle
+# ---------------------------------------------------------------------------
+
+_KV = TableSchema(name="kv", columns=("k", "v"), primary_key=("k",))
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "overwrite", "delete", "get"]),
+              st.integers(min_value=0, max_value=20),
+              st.integers(min_value=0, max_value=999)),
+    min_size=1, max_size=40)
+
+
+@FAST
+@given(_ops)
+def test_engine_matches_dict_oracle(ops):
+    cluster = NDBCluster(NDBConfig(num_datanodes=2, replication=2,
+                                   lock_timeout=0.5))
+    cluster.create_table(_KV)
+    oracle: dict[int, int] = {}
+    for op, key, value in ops:
+        with cluster.begin() as tx:
+            if op == "put":
+                if key in oracle:
+                    with pytest.raises(DuplicateKeyError):
+                        tx.insert("kv", {"k": key, "v": value})
+                    tx.abort()
+                else:
+                    tx.insert("kv", {"k": key, "v": value})
+                    oracle[key] = value
+            elif op == "overwrite":
+                tx.write("kv", {"k": key, "v": value})
+                oracle[key] = value
+            elif op == "delete":
+                if key in oracle:
+                    tx.delete("kv", (key,))
+                    del oracle[key]
+                else:
+                    assert tx.delete("kv", (key,), must_exist=False) is False
+            else:
+                row = tx.read("kv", (key,))
+                assert (row["v"] if row else None) == oracle.get(key)
+    with cluster.begin() as tx:
+        rows = tx.full_scan("kv")
+    assert {r["k"]: r["v"] for r in rows} == oracle
+
+
+@FAST
+@given(_ops)
+def test_engine_oracle_survives_node_failover(ops):
+    cluster = NDBCluster(NDBConfig(num_datanodes=2, replication=2,
+                                   lock_timeout=0.5))
+    cluster.create_table(_KV)
+    oracle: dict[int, int] = {}
+    for i, (op, key, value) in enumerate(ops):
+        if i == len(ops) // 2:
+            cluster.kill_node(0)
+        with cluster.begin() as tx:
+            if op in ("put", "overwrite"):
+                tx.write("kv", {"k": key, "v": value})
+                oracle[key] = value
+            elif op == "delete":
+                tx.delete("kv", (key,), must_exist=False)
+                oracle.pop(key, None)
+    with cluster.begin() as tx:
+        rows = tx.full_scan("kv")
+    assert {r["k"]: r["v"] for r in rows} == oracle
+
+
+@FAST
+@given(_ops, st.integers(min_value=0, max_value=3))
+def test_aborted_transactions_leave_no_trace(ops, abort_every):
+    cluster = NDBCluster(NDBConfig(num_datanodes=2, replication=2,
+                                   lock_timeout=0.5))
+    cluster.create_table(_KV)
+    oracle: dict[int, int] = {}
+    for i, (op, key, value) in enumerate(ops):
+        tx = cluster.begin()
+        try:
+            if op == "delete":
+                tx.delete("kv", (key,), must_exist=False)
+            else:
+                tx.write("kv", {"k": key, "v": value})
+            if abort_every and i % (abort_every + 1) == abort_every:
+                tx.abort()
+            else:
+                tx.commit()
+                if op == "delete":
+                    oracle.pop(key, None)
+                else:
+                    oracle[key] = value
+        finally:
+            if tx.state.value == "active":
+                tx.abort()
+    with cluster.begin() as tx:
+        rows = tx.full_scan("kv")
+    assert {r["k"]: r["v"] for r in rows} == oracle
+
+
+# ---------------------------------------------------------------------------
+# Lock manager invariants
+# ---------------------------------------------------------------------------
+
+_lock_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4),          # owner
+              st.integers(min_value=0, max_value=5),          # key
+              st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+              st.booleans()),                                 # release after
+    min_size=1, max_size=30)
+
+
+@FAST
+@given(_lock_ops)
+def test_lock_manager_compatibility_invariant(ops):
+    """After any sequence of non-blocking acquires/releases, no key has
+    an exclusive holder coexisting with another holder."""
+    from repro.errors import DeadlockError, LockTimeoutError
+
+    mgr = LockManager(timeout=0.02, deadlock_detection=True)
+    owners = [object() for _ in range(5)]
+    keys = set()
+    for owner_idx, key, mode, release in ops:
+        owner = owners[owner_idx]
+        keys.add(key)
+        try:
+            mgr.acquire(owner, key, mode, timeout=0.02)
+        except (LockTimeoutError, DeadlockError):
+            pass
+        if release:
+            mgr.release_all(owner)
+        for k in keys:
+            holders = mgr.holders(k)
+            exclusive = [o for o, m in holders.items()
+                         if m is LockMode.EXCLUSIVE]
+            if exclusive:
+                assert len(holders) == 1
+    for owner in owners:
+        mgr.release_all(owner)
+    assert mgr.lock_table_size() == 0
+
+
+# ---------------------------------------------------------------------------
+# Partition placement
+# ---------------------------------------------------------------------------
+
+@FAST
+@given(st.lists(st.tuples(st.integers(), st.text(max_size=20)), min_size=1,
+                max_size=50),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=3))
+def test_partition_map_properties(keys, groups, replication):
+    pmap = PartitionMap(num_partitions=groups * replication * 2,
+                        num_node_groups=groups, replication=replication)
+    for key in keys:
+        pid = pmap.partition_of(key)
+        assert 0 <= pid < pmap.num_partitions
+        assert pid == pmap.partition_of(key)  # deterministic
+        nodes = pmap.replica_nodes(pid)
+        assert len(set(nodes)) == replication
+        group = pmap.node_group_of(pid)
+        assert all(n // replication == group for n in nodes)
+
+
+@FAST
+@given(st.lists(st.one_of(st.integers(), st.text(max_size=30)), max_size=5))
+def test_stable_hash_deterministic(values):
+    assert stable_hash(values) == stable_hash(list(values))
+    assert stable_hash(values) >= 0
+
+
+# ---------------------------------------------------------------------------
+# Hint cache
+# ---------------------------------------------------------------------------
+
+@FAST
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=30),
+                          st.sampled_from(["a", "b", "c", "d"]),
+                          st.integers(min_value=1, max_value=10_000)),
+                min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=10))
+def test_hint_cache_bounded_and_consistent(puts, capacity):
+    cache = InodeHintCache(capacity=capacity)
+    latest: dict[tuple[int, str], int] = {}
+    for parent, name, inode in puts:
+        cache.put(parent, name, inode, parent, False)
+        latest[(parent, name)] = inode
+    assert len(cache) <= capacity
+    # whatever is still cached must be the latest value written
+    for (parent, name), inode in latest.items():
+        hint = cache.get(parent, name)
+        if hint is not None:
+            assert hint.inode_id == inode
+
+
+# ---------------------------------------------------------------------------
+# Paths
+# ---------------------------------------------------------------------------
+
+_component = st.text(
+    alphabet=st.characters(codec="ascii", exclude_characters="/\x00"),
+    min_size=1, max_size=12).filter(lambda s: s not in (".", ".."))
+
+
+@FAST
+@given(st.lists(_component, max_size=8))
+def test_path_split_join_roundtrip(components):
+    path = join_path(components)
+    assert split_path(path) == components
+    assert normalize(path) == path
+
+
+@FAST
+@given(st.lists(_component, min_size=1, max_size=6))
+def test_normalize_collapses_extra_slashes(components):
+    messy = "//" + "///".join(components) + "/"
+    assert normalize(messy) == join_path(components)
+
+
+# ---------------------------------------------------------------------------
+# Statistics helpers
+# ---------------------------------------------------------------------------
+
+@FAST
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=200),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_bounded_and_monotone(values, p):
+    ordered = sorted(values)
+    result = percentile(ordered, p)
+    assert ordered[0] <= result <= ordered[-1]
+    if p <= 99:
+        assert percentile(ordered, p) <= percentile(ordered, min(p + 1, 100))
+
+
+@FAST
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=500))
+def test_latency_reservoir_exact_aggregates(values):
+    reservoir = LatencyReservoir(capacity=64)
+    for value in values:
+        reservoir.record(value)
+    assert reservoir.count == len(values)
+    assert reservoir.max == max(values)
+    assert reservoir.mean == pytest.approx(sum(values) / len(values))
+    p50 = reservoir.percentile(50)
+    assert min(values) <= p50 <= max(values)
+
+
+# ---------------------------------------------------------------------------
+# Workload spec
+# ---------------------------------------------------------------------------
+
+@FAST
+@given(st.floats(min_value=0.03, max_value=0.5))
+def test_write_intensive_mix_normalized(fraction):
+    from repro.workload.spec import write_intensive_workload
+
+    spec = write_intensive_workload(fraction)
+    assert sum(spec.mix.values()) == pytest.approx(1.0)
+    assert spec.file_write_fraction == pytest.approx(fraction, abs=0.01)

@@ -1,0 +1,229 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupted, SimError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5.0)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_run_until_stops_at_limit():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100.0)
+
+    env.process(proc())
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result * 2
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == 84
+
+
+def test_event_succeed_value_delivered():
+    env = Environment()
+    ev = env.event()
+    seen = []
+
+    def waiter():
+        value = yield ev
+        seen.append(value)
+
+    def trigger():
+        yield env.timeout(3.0)
+        ev.succeed("hello")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield env.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_simultaneous_events_run_in_insertion_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        procs = [env.process(child(d, v)) for d, v in [(3, "x"), (1, "y"), (2, "z")]]
+        values = yield AllOf(env, procs)
+        return values
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == ["x", "y", "z"]
+    assert env.now == 3.0
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        procs = [env.process(child(d, v)) for d, v in [(3, "slow"), (1, "fast")]]
+        _ev, value = yield AnyOf(env, procs)
+        return value
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "fast"
+
+
+def test_interrupt_raises_interrupted_with_cause():
+    env = Environment()
+    caught = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupted as intr:
+            caught.append((env.now, intr.cause))
+
+    def killer(target):
+        yield env.timeout(5.0)
+        target.interrupt("node-crash")
+
+    v = env.process(victim())
+    env.process(killer(v))
+    env.run()
+    assert caught == [(5.0, "node-crash")]
+
+
+def test_interrupt_finished_process_is_noop():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1.0)
+
+    def killer(target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    v = env.process(victim())
+    env.process(killer(v))
+    env.run()
+    assert v.processed and v.ok
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 17
+
+    env.process(bad())
+    with pytest.raises(SimError):
+        env.run()
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimError):
+        env.timeout(-1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run_until_event(p) == "done"
+    assert env.now == 2.0
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("early")
+    env.run()  # process the trigger
+    seen = []
+
+    def late_waiter():
+        value = yield ev
+        seen.append(value)
+
+    env.process(late_waiter())
+    env.run()
+    assert seen == ["early"]

@@ -1,0 +1,192 @@
+"""Unit tests for DES resources (Resource, RWLock, Store)."""
+
+import pytest
+
+from repro.sim import Environment, Resource, RWLock, SimError, Store
+
+
+def test_resource_serializes_beyond_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield res.acquire()
+        try:
+            yield env.timeout(10.0)
+            done.append((tag, env.now))
+        finally:
+            res.release()
+
+    for tag in range(4):
+        env.process(worker(tag))
+    env.run()
+    # Two run at a time: first pair finishes at 10, second at 20.
+    assert [t for _tag, t in done] == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield res.acquire()
+        try:
+            order.append(tag)
+            yield env.timeout(1.0)
+        finally:
+            res.release()
+
+    for tag in range(5):
+        env.process(worker(tag))
+    env.run()
+    assert order == list(range(5))
+
+
+def test_resource_use_helper():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker():
+        yield env.process(res.use(3.0))
+        return env.now
+
+    a = env.process(worker())
+    b = env.process(worker())
+    env.run()
+    assert a.value == 3.0
+    assert b.value == 6.0
+
+
+def test_resource_utilization_accounting():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def worker():
+        yield env.process(res.use(10.0))
+
+    env.process(worker())
+    env.run(until=10.0)
+    # One of two servers busy for the whole window -> 50%.
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_release_idle_resource_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_rwlock_readers_share():
+    env = Environment()
+    lock = RWLock(env)
+    done = []
+
+    def reader(tag):
+        yield env.process(lock.read(5.0))
+        done.append((tag, env.now))
+
+    for tag in range(3):
+        env.process(reader(tag))
+    env.run()
+    assert all(t == 5.0 for _tag, t in done)
+
+
+def test_rwlock_writer_excludes_everyone():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def writer():
+        yield env.process(lock.write(5.0))
+        log.append(("w", env.now))
+
+    def reader():
+        yield env.process(lock.read(1.0))
+        log.append(("r", env.now))
+
+    env.process(writer())
+    env.process(reader())
+    env.run()
+    assert log == [("w", 5.0), ("r", 6.0)]
+
+
+def test_rwlock_writer_preference_blocks_new_readers():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def early_reader():
+        yield env.process(lock.read(10.0))
+        log.append(("r1", env.now))
+
+    def writer():
+        yield env.timeout(1.0)
+        yield env.process(lock.write(5.0))
+        log.append(("w", env.now))
+
+    def late_reader():
+        yield env.timeout(2.0)  # arrives while writer is queued
+        yield env.process(lock.read(1.0))
+        log.append(("r2", env.now))
+
+    env.process(early_reader())
+    env.process(writer())
+    env.process(late_reader())
+    env.run()
+    # late reader must wait for the queued writer even though a reader held
+    # the lock when it arrived.
+    assert log == [("r1", 10.0), ("w", 15.0), ("r2", 16.0)]
+
+
+def test_rwlock_write_utilization():
+    env = Environment()
+    lock = RWLock(env)
+
+    def writer():
+        yield env.process(lock.write(4.0))
+
+    env.process(writer())
+    env.run(until=8.0)
+    assert lock.write_utilization() == pytest.approx(0.5)
+
+
+def test_store_fifo_and_blocking_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, env.now))
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer():
+        yield env.timeout(3.0)
+        store.put("a")
+        store.put("b")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [("a", 3.0), ("b", 3.0)]
+
+
+def test_store_buffers_when_no_getter():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+    def consumer():
+        first = yield store.get()
+        second = yield store.get()
+        return (first, second)
+
+    p = env.process(consumer())
+    env.run()
+    assert p.value == (1, 2)

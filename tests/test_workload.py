@@ -1,0 +1,160 @@
+"""Tests for workload synthesis (Table 1 mix, namespace statistics)."""
+
+import pytest
+
+from repro.workload import (
+    NamespaceConfig,
+    NamespaceModel,
+    OperationGenerator,
+    SPOTIFY_WORKLOAD,
+    WorkloadSpec,
+    hotspot_workload,
+    write_intensive_workload,
+)
+from repro.workload.generator import execute_op
+from repro.workload.spec import TABLE1_MIX
+
+
+class TestWorkloadSpec:
+    def test_mix_normalized(self):
+        assert sum(SPOTIFY_WORKLOAD.mix.values()) == pytest.approx(1.0)
+
+    def test_read_ops_dominate(self):
+        """Table 1: list/read/stat ≈ 95 % of operations."""
+        share = sum(SPOTIFY_WORKLOAD.mix[op] for op in ("ls", "read", "stat"))
+        assert share == pytest.approx(0.95, abs=0.01)
+
+    def test_spotify_file_write_fraction(self):
+        """§7.2 calls the Spotify workload '2.7 % file writes'."""
+        assert SPOTIFY_WORKLOAD.file_write_fraction == pytest.approx(
+            0.027, abs=0.002)
+
+    @pytest.mark.parametrize("target", [0.05, 0.10, 0.20])
+    def test_write_intensive_variants(self, target):
+        spec = write_intensive_workload(target)
+        assert spec.file_write_fraction == pytest.approx(target, abs=0.005)
+        assert sum(spec.mix.values()) == pytest.approx(1.0)
+        # reads absorb the difference but still dominate at 20 %
+        assert spec.mix["read"] > 0.4
+
+    def test_write_fraction_ordering(self):
+        specs = [SPOTIFY_WORKLOAD] + [
+            write_intensive_workload(f) for f in (0.05, 0.10, 0.20)]
+        fracs = [s.file_write_fraction for s in specs]
+        assert fracs == sorted(fracs)
+
+    def test_hotspot_keeps_mix(self):
+        spec = hotspot_workload()
+        assert spec.hotspot_ancestor == "/shared-dir"
+        assert spec.mix == SPOTIFY_WORKLOAD.mix
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", mix={"read": 0.0})
+
+    def test_invalid_write_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            write_intensive_workload(0.95)
+
+
+class TestNamespaceModel:
+    @pytest.fixture(scope="class")
+    def namespace(self):
+        return NamespaceModel.generate(5000)
+
+    def test_file_count(self, namespace):
+        assert len(namespace.files) == 5000
+
+    def test_mean_depth_near_seven(self, namespace):
+        """§7.2: average file path depth at Spotify is 7."""
+        assert 5.0 <= namespace.mean_file_depth() <= 9.0
+
+    def test_mean_name_length_near_34(self, namespace):
+        assert 30.0 <= namespace.mean_name_length() <= 38.0
+
+    def test_files_per_directory_near_16(self, namespace):
+        assert 12.0 <= namespace.files_per_directory() <= 20.0
+
+    def test_deterministic(self):
+        a = NamespaceModel.generate(500)
+        b = NamespaceModel.generate(500)
+        assert a.files == b.files
+
+    def test_seed_changes_output(self):
+        a = NamespaceModel.generate(500)
+        b = NamespaceModel.generate(500, NamespaceConfig(seed=1))
+        assert a.files != b.files
+
+    def test_hotspot_root_prefix(self):
+        model = NamespaceModel.generate(200, root="/shared-dir")
+        assert all(p.startswith("/shared-dir/") for p in model.iter_paths())
+
+
+class TestOperationGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        namespace = NamespaceModel.generate(2000)
+        return OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=3)
+
+    def test_mix_respected(self, generator):
+        from collections import Counter
+
+        counts = Counter(op.op for op in generator.stream(20000))
+        assert counts["read"] / 20000 == pytest.approx(
+            TABLE1_MIX["read"], abs=0.02)
+        assert counts["stat"] / 20000 == pytest.approx(
+            TABLE1_MIX["stat"], abs=0.02)
+
+    def test_heavy_tailed_popularity(self):
+        namespace = NamespaceModel.generate(2000)
+        generator = OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=3)
+        hot = set(generator._hot_files)
+        reads = [op for op in generator.stream(10000) if op.op == "read"]
+        hot_hits = sum(1 for op in reads if op.path in hot)
+        assert hot_hits / len(reads) == pytest.approx(0.80, abs=0.05)
+
+    def test_rename_has_destination(self, generator):
+        renames = [op for op in generator.stream(5000) if op.op == "rename"]
+        assert renames
+        assert all(op.dst for op in renames)
+
+    def test_ls_mostly_directories(self):
+        namespace = NamespaceModel.generate(2000)
+        generator = OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=5)
+        dirs = set(namespace.directories)
+        ls_ops = [op for op in generator.stream(20000) if op.op == "ls"]
+        dir_share = sum(1 for op in ls_ops if op.path in dirs) / len(ls_ops)
+        assert dir_share == pytest.approx(0.945, abs=0.03)
+
+
+class TestExecuteAgainstRealClusters:
+    def test_workload_runs_on_hopsfs(self):
+        from tests.conftest import make_hopsfs
+
+        fs = make_hopsfs(num_namenodes=1)
+        client = fs.client("wl")
+        namespace = NamespaceModel.generate(
+            60, NamespaceConfig(mean_depth=3, files_per_dir=6))
+        for d in namespace.directories:
+            client.mkdirs(d)
+        for f in namespace.files:
+            client.create(f)
+        generator = OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=1)
+        for op in generator.stream(150):
+            execute_op(client, op)
+
+    def test_workload_runs_on_hdfs(self):
+        from repro.hdfs import HDFSCluster
+        from repro.util.clock import ManualClock
+
+        cluster = HDFSCluster(num_datanodes=3, clock=ManualClock())
+        client = cluster.client("wl")
+        namespace = NamespaceModel.generate(
+            60, NamespaceConfig(mean_depth=3, files_per_dir=6))
+        for d in namespace.directories:
+            client.mkdirs(d)
+        for f in namespace.files:
+            client.create(f)
+        generator = OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=1)
+        for op in generator.stream(150):
+            execute_op(client, op)

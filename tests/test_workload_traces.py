@@ -1,0 +1,114 @@
+"""Tests for trace capture, persistence, analysis and replay."""
+
+import pytest
+
+from repro.workload.namespace import NamespaceConfig, NamespaceModel
+from repro.workload.generator import OperationGenerator
+from repro.workload.spec import SPOTIFY_WORKLOAD
+from repro.workload.traces import Trace, synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # enough files that the generated tree reaches its target depth
+    captured, _ns = synthesize_trace(num_files=3000, num_ops=3000, seed=5)
+    return captured
+
+
+class TestCaptureAndStats:
+    def test_capture_length(self, trace):
+        assert len(trace) == 3000
+
+    def test_statistics_mix_close_to_table1(self, trace):
+        stats = trace.statistics()
+        assert stats.operations == 3000
+        assert stats.mix["read"] == pytest.approx(0.6873, abs=0.03)
+        assert stats.write_fraction == pytest.approx(0.053, abs=0.02)
+
+    def test_statistics_depth_near_spotify(self, trace):
+        # operation paths mix files (mean depth ~7) with directory targets
+        # (one level shallower), so the trace-wide mean sits a bit below
+        # the file-path mean the paper quotes
+        stats = trace.statistics()
+        assert 4.5 <= stats.mean_path_depth <= 9.0
+
+    def test_statistics_table_renderable(self, trace):
+        rows = trace.statistics().as_table()
+        assert any(label == "write fraction" for label, _ in rows)
+
+    def test_empty_trace_statistics(self):
+        stats = Trace().statistics()
+        assert stats.operations == 0 and stats.mix == {}
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        target = tmp_path / "ops.jsonl"
+        written = trace.save(target)
+        assert written > 0
+        loaded = Trace.load(target)
+        assert loaded.ops == trace.ops
+
+    def test_rename_dst_preserved(self, trace, tmp_path):
+        renames = [op for op in trace if op.op == "rename"]
+        assert renames  # the Spotify mix contains renames
+        target = tmp_path / "ops.jsonl"
+        trace.save(target)
+        loaded = Trace.load(target)
+        loaded_renames = [op for op in loaded if op.op == "rename"]
+        assert loaded_renames[0].dst == renames[0].dst
+
+    def test_malformed_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "read"}\n')  # missing path
+        with pytest.raises(ValueError, match="malformed"):
+            Trace.load(bad)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        f = tmp_path / "t.jsonl"
+        f.write_text('{"op":"read","path":"/a"}\n\n{"op":"stat","path":"/b"}\n')
+        assert len(Trace.load(f)) == 2
+
+
+class TestReplay:
+    def test_replay_on_hopsfs(self):
+        from tests.conftest import make_hopsfs
+
+        namespace = NamespaceModel.generate(
+            50, NamespaceConfig(mean_depth=3, files_per_dir=5))
+        generator = OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=2)
+        trace = Trace.capture(generator, 120)
+        fs = make_hopsfs(num_namenodes=1)
+        client = fs.client("replay")
+        for d in namespace.directories:
+            client.mkdirs(d)
+        for f in namespace.files:
+            client.create(f)
+        result = trace.replay(client)
+        assert result["executed"] == 120
+
+    def test_replay_deterministic_namespace_effects(self, tmp_path):
+        """Two replays of the same trace produce identical namespaces."""
+        from tests.conftest import make_hopsfs
+
+        namespace = NamespaceModel.generate(
+            40, NamespaceConfig(mean_depth=3, files_per_dir=5))
+        generator = OperationGenerator(SPOTIFY_WORKLOAD, namespace, seed=9)
+        trace = Trace.capture(generator, 80)
+        target = tmp_path / "trace.jsonl"
+        trace.save(target)
+
+        def run():
+            fs = make_hopsfs(num_namenodes=1)
+            client = fs.client("replay")
+            for d in namespace.directories:
+                client.mkdirs(d)
+            for f in namespace.files:
+                client.create(f)
+            Trace.load(target).replay(client)
+            session = fs.driver.session()
+            rows = session.run(lambda tx: tx.full_scan("inodes"))
+            return sorted((r["parent_id"], r["name"], r["is_dir"])
+                          for r in rows)
+
+        assert run() == run()
