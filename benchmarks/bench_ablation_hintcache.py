@@ -98,8 +98,7 @@ def test_hint_cache_hit_rate_under_workload(warm_cluster, benchmark):
     for i in range(10):
         client.write_file(f"/hot/dir/f{i}", b"")
     nn = fs.namenodes[0]
-    nn.hint_cache.clear()
-    nn.hint_cache.hits = nn.hint_cache.misses = 0
+    nn.hint_cache.clear()  # also resets the hit/miss counters
 
     def run():
         import random

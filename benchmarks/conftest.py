@@ -7,17 +7,39 @@ curves bend). Set ``REPRO_BENCH_QUICK=1`` to shrink simulation durations
 for smoke runs.
 """
 
+import json
 import os
 
 import pytest
 
-from repro.perfmodel.profiles import record_hopsfs_profiles
+from repro.perfmodel.profiles import last_recording_cluster, record_hopsfs_profiles
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 #: simulation durations (seconds of simulated time)
 DURATION = 0.15 if QUICK else 0.4
 SCALE = 0.05
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-json", action="store", default=None, metavar="PATH",
+        help="after the run, write the profiling cluster's aggregated "
+             "metrics snapshot (repro.metrics) to PATH as JSON")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--metrics-json", default=None)
+    if not path:
+        return
+    cluster = last_recording_cluster()
+    if cluster is None:
+        data = {"error": "no profiling cluster was built during this run"}
+    else:
+        data = cluster.metrics_snapshot()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,8 @@ library class (:class:`HopsShell`) so tests and notebooks can drive it.
 
 from __future__ import annotations
 
+import json
+import os
 import shlex
 import sys
 from typing import Callable, Optional
@@ -52,6 +54,7 @@ class HopsShell:
             "kill-nn": self._kill_nn,
             "decommission": self._decommission,
             "tick": self._tick,
+            "metrics": self._metrics,
             "help": self._help,
         }
 
@@ -225,10 +228,23 @@ class HopsShell:
     def _decommission(self, args: list[str]) -> str:
         if not args:
             raise CommandError("decommission <dn-id>")
-        dn_id = int(args[0])
+        try:
+            dn_id = int(args[0])
+        except ValueError:
+            raise CommandError(f"bad datanode id {args[0]!r}") from None
+        alive = {dn.dn_id for dn in self.cluster.datanodes if dn.alive}
+        if dn_id not in alive:
+            raise CommandError(f"no such live datanode {dn_id} "
+                               f"(alive: {sorted(alive)})")
         queued = self.cluster.start_decommission(dn_id)
-        while not self.cluster.decommission_complete(dn_id):
+        for _ in range(1000):
+            if self.cluster.decommission_complete(dn_id):
+                break
             self.cluster.tick()
+        else:
+            raise CommandError(
+                f"decommission of datanode {dn_id} stalled — no capacity "
+                "to re-replicate its blocks")
         self.cluster.finish_decommission(dn_id)
         return (f"datanode {dn_id} drained ({queued} blocks re-replicated) "
                 "and retired")
@@ -237,6 +253,26 @@ class HopsShell:
         commands = self.cluster.tick()
         return f"housekeeping round done ({commands} datanode commands)"
 
+    def _metrics(self, args: list[str]) -> str:
+        from repro.metrics import export
+
+        mode = args[0] if args else "summary"
+        if mode == "summary":
+            return export.summary(self.cluster.metrics_registry())
+        if mode == "json":
+            return json.dumps(self.cluster.metrics_snapshot(), indent=2,
+                              sort_keys=True)
+        if mode == "prom":
+            return self.cluster.metrics_prometheus().rstrip("\n")
+        if mode == "slow":
+            lines = []
+            for nn in self.cluster.namenodes:
+                for trace in nn.tracer.slow_ops():
+                    lines.append(f"-- namenode {nn.nn_id} --")
+                    lines.append(trace.render())
+            return "\n".join(lines) if lines else "(no slow operations)"
+        raise CommandError("metrics [summary|json|prom|slow]")
+
     def _help(self, args: list[str]) -> str:
         return "commands: " + " ".join(sorted(self._commands))
 
@@ -244,15 +280,23 @@ class HopsShell:
 def main(argv: Optional[list[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     shell = HopsShell()
-    if argv:  # one-shot: repro.cli ls /
-        print(shell.execute(" ".join(argv)))
+    try:
+        if argv:  # one-shot: repro.cli ls /
+            print(shell.execute(" ".join(argv)))
+            return 0
+        print("HopsFS reproduction shell — 'help' lists commands, ^D exits")
+        for line in sys.stdin:
+            output = shell.execute(line.strip())
+            if output:
+                print(output)
         return 0
-    print("HopsFS reproduction shell — 'help' lists commands, ^D exits")
-    for line in sys.stdin:
-        output = shell.execute(line.strip())
-        if output:
-            print(output)
-    return 0
+    except BrokenPipeError:
+        # downstream closed early (e.g. ``... metrics prom | head``);
+        # point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise again
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.errors import (
     TransactionAbortedError,
 )
 from repro.dal.driver import DALDriver
+from repro.metrics.tracing import span
 from repro.ndb.locks import LockMode
 from repro.ndb.schema import TableSchema
 from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
@@ -67,6 +68,7 @@ class MemorySession:
     def __init__(self, driver: MemoryDriver) -> None:
         self._driver = driver
         self.stats = AccessStats()
+        self.retries_used = 0  # mutex serialization: conflicts can't happen
 
     def begin(self, hint: Optional[tuple[str, Mapping[str, Any]]] = None
               ) -> "MemoryTransaction":
@@ -77,9 +79,10 @@ class MemorySession:
             retries: int = 5) -> T:
         tx = self.begin(hint)
         try:
-            result = fn(tx)
+            with span("execute"):
+                result = fn(tx)
             if tx.active:
-                tx.commit()
+                tx.commit()  # emits its own "commit" span
             self.stats.merge(tx.stats)
             return result
         except Exception:
@@ -147,7 +150,7 @@ class MemoryTransaction:
         return rows
 
     def _scan(self, table: str, predicate: Predicate) -> list[dict]:
-        schema = self._driver.schema(table)
+        self._driver.schema(table)  # validate the table exists
         merged = {
             pk: dict(row)
             for pk, row in self._driver._tables[table].items()
@@ -254,18 +257,20 @@ class MemoryTransaction:
 
     def commit(self) -> None:
         self._check()
-        writes = 0
-        for (table, pk), (op, row) in self._writes.items():
-            store = self._driver._tables[table]
-            if op == "delete":
-                store.pop(pk, None)
-            else:
-                store[pk] = dict(row)  # type: ignore[arg-type]
-            writes += 1
-        if writes:
-            self._record(AccessKind.BATCH_PK, "*", writes, locked=False, write=True)
-            self._record(AccessKind.COMMIT, "*", 0, locked=False)
-        self._finish()
+        with span("commit", writes=len(self._writes)):
+            writes = 0
+            for (table, pk), (op, row) in self._writes.items():
+                store = self._driver._tables[table]
+                if op == "delete":
+                    store.pop(pk, None)
+                else:
+                    store[pk] = dict(row)  # type: ignore[arg-type]
+                writes += 1
+            if writes:
+                self._record(AccessKind.BATCH_PK, "*", writes, locked=False,
+                             write=True)
+                self._record(AccessKind.COMMIT, "*", 0, locked=False)
+            self._finish()
 
     def abort(self) -> None:
         if not self.active:

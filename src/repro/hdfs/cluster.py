@@ -11,7 +11,6 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-from repro.errors import NameNodeUnavailableError
 from repro.hdfs.client import HDFSClient
 from repro.hdfs.coordinator import FailoverCoordinator
 from repro.hdfs.editlog import JournalNode, QuorumJournalManager

@@ -173,8 +173,7 @@ class DFSClient:
                    replication: Optional[int] = None,
                    overwrite: bool = False) -> FileStatus:
         """Create, write (through datanodes) and close a file."""
-        status = self.create(path, replication=replication,
-                             overwrite=overwrite)
+        self.create(path, replication=replication, overwrite=overwrite)
         if data:
             block_size = self._cluster.config.block_size
             for offset in range(0, len(data), block_size):

@@ -240,6 +240,54 @@ class HopsFSCluster:
                 self.any_namenode().block_received(
                     target.dn_id, command.block_id, len(data))
 
+    # -- observability ------------------------------------------------------------------------
+
+    def metrics_registry(self) -> "MetricsRegistry":
+        """One cluster-wide registry merged from every namenode.
+
+        Counters and histograms sum/fold across namenodes (dead ones
+        included — their history is still part of the cluster's story).
+        Ratio gauges are recomputed from the summed totals, and the
+        database lock manager's counters are bridged in when the driver
+        exposes one.
+        """
+        from repro.metrics.registry import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for nn in self.namenodes:
+            merged.merge(nn.metrics_registry())
+        # summing per-NN hit rates is meaningless; recompute from totals
+        hits = merged.get_gauge("hint_cache_hits") or 0.0
+        misses = merged.get_gauge("hint_cache_misses") or 0.0
+        total = hits + misses
+        merged.set_gauge("hint_cache_hit_rate",
+                         hits / total if total else 0.0)
+        locks = getattr(getattr(self.driver, "cluster", None), "_locks", None)
+        if locks is not None:
+            merged.set_gauge("ndb_lock_waits", locks.waits)
+            merged.set_gauge("ndb_lock_deadlocks", locks.deadlocks)
+            merged.set_gauge("ndb_lock_timeouts", locks.timeouts)
+            merged.set_gauge("ndb_lock_wait_seconds", locks.wait_seconds)
+            merged.set_gauge("ndb_lock_table_size", locks.lock_table_size())
+        return merged
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-able snapshot of the aggregated cluster metrics."""
+        from repro.metrics import export
+
+        return export.snapshot(
+            self.metrics_registry(),
+            meta={"namenodes": len(self.namenodes),
+                  "live_namenodes": len(self.live_namenodes()),
+                  "datanodes": len(self.datanodes),
+                  "engine": self.driver.engine_name})
+
+    def metrics_prometheus(self) -> str:
+        """Aggregated cluster metrics in Prometheus text format."""
+        from repro.metrics import export
+
+        return export.prometheus_text(self.metrics_registry())
+
     # -- block reports ------------------------------------------------------------------------
 
     def send_block_report(self, dn_id: int,

@@ -41,6 +41,17 @@ class HopsFSConfig:
     dn_heartbeat_timeout: float = 10.0
     #: clock used for leases, heartbeats and leader election
     clock: Clock = field(default_factory=SystemClock)
+    #: trace every Nth operation (1 = all, 0 = tracing off); per-op
+    #: latency metrics are always recorded regardless of sampling. The
+    #: default samples: building a full span tree for every operation
+    #: roughly doubles the cost of a warm in-memory op, sampling keeps
+    #: the phase histograms fed at a fraction of that (the first
+    #: operation is always traced, then every Nth after it)
+    trace_sample_every: int = 16
+    #: completed traces kept per namenode for inspection
+    trace_ring_size: int = 256
+    #: operations slower than this (seconds) land in the slow-op log
+    slow_op_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.random_partition_depth < 0:
@@ -53,3 +64,9 @@ class HopsFSConfig:
             raise ValueError("subtree_parallelism must be >= 1")
         if self.id_batch_size < 1:
             raise ValueError("id_batch_size must be >= 1")
+        if self.trace_sample_every < 0:
+            raise ValueError("trace_sample_every must be >= 0")
+        if self.trace_ring_size < 1:
+            raise ValueError("trace_ring_size must be >= 1")
+        if self.slow_op_threshold <= 0:
+            raise ValueError("slow_op_threshold must be positive")

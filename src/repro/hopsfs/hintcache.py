@@ -44,19 +44,20 @@ class InodeHintCache:
         self._capacity = capacity
         self._entries: OrderedDict[tuple[int, str], InodeHint] = OrderedDict()
         self._mutex = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._evictions = 0
 
     def get(self, parent_id: int, name: str) -> Optional[InodeHint]:
         key = (parent_id, name)
         with self._mutex:
             hint = self._entries.get(key)
             if hint is None:
-                self.misses += 1
+                self._misses += 1
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hits += 1
             return hint
 
     def put(self, parent_id: int, name: str, inode_id: int, part_key: int,
@@ -68,21 +69,65 @@ class InodeHintCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
 
     def invalidate(self, parent_id: int, name: str) -> None:
         with self._mutex:
             if self._entries.pop((parent_id, name), None) is not None:
-                self.invalidations += 1
+                self._invalidations += 1
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the counters — after a clear the
+        hit rate describes the cache's new life, not the old one."""
         with self._mutex:
             self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._invalidations = 0
+            self._evictions = 0
 
     def __len__(self) -> int:
         with self._mutex:
             return len(self._entries)
 
+    # counter reads take the mutex so they never observe a torn
+    # hits/misses pair from a concurrent get()
+    @property
+    def hits(self) -> int:
+        with self._mutex:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._mutex:
+            return self._misses
+
+    @property
+    def invalidations(self) -> int:
+        with self._mutex:
+            return self._invalidations
+
+    @property
+    def evictions(self) -> int:
+        with self._mutex:
+            return self._evictions
+
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._mutex:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """One consistent view of all counters (the metrics bridge input)."""
+        with self._mutex:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+            }

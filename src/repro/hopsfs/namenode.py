@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from repro.errors import (
@@ -27,8 +28,11 @@ from repro.hopsfs.ops_inode import InodeOpsMixin
 from repro.hopsfs.ops_subtree import SubtreeOpsMixin
 from repro.hopsfs.tx import IdAllocator, PathResolver, StaleSubtreeLockError
 from repro.hopsfs import schema as fs_schema
+from repro.metrics import tracing
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import Tracer
 from repro.ndb.locks import LockMode
-from repro.ndb.stats import AccessStats
+from repro.ndb.stats import AccessKind, AccessStats
 from repro.util.stats import Counter
 
 
@@ -60,6 +64,27 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         self.stats = AccessStats(keep_events=False)
         self.op_count = Counter()
         self._stats_mutex = threading.Lock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            registry=self.metrics,
+            ring_size=config.trace_ring_size,
+            slow_threshold=config.slow_op_threshold,
+            sample_every=config.trace_sample_every)
+        # hot-path metric handles, cached so per-operation recording is a
+        # couple of lock/inc pairs instead of registry lookups (the
+        # registry's get-or-create does label canonicalization each call)
+        self._op_metrics: dict[str, tuple] = {}
+        self._op_metrics_lock = threading.Lock()
+        self._db_kind_counters = {
+            kind: self.metrics.counter("db_access_total", kind=kind.value)
+            for kind in AccessKind}
+        self._db_counters = (
+            self.metrics.counter("db_round_trips_total"),
+            self.metrics.counter("db_rows_read_total"),
+            self.metrics.counter("db_rows_written_total"),
+            self.metrics.counter("db_rows_locked_total"),
+            self.metrics.counter("db_remote_partition_hops_total"),
+        )
         #: dn_id -> last heartbeat timestamp (soft state from heartbeats)
         self._dn_heartbeats: dict[int, float] = {}
         #: datanodes being drained: no new replicas are placed on them
@@ -103,37 +128,98 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
           creating the same path component) retry so idempotent operations
           like ``mkdirs`` converge;
         * lock conflicts retry inside :meth:`DALSession.run` already.
+
+        Every call records per-operation latency/retry/error metrics into
+        :attr:`metrics`; sampled calls additionally produce a full phase
+        trace (see :mod:`repro.metrics.tracing`).
         """
         if not self.alive:
             raise NameNodeUnavailableError(f"namenode {self.nn_id} is down")
+        seconds, total = self._hot_op_metrics(op_name)
+        started = time.perf_counter()
+        with self.tracer.trace(op_name):
+            try:
+                result = self._fs_op_attempts(op_name, fn, hint,
+                                              retry_duplicates)
+            except Exception as exc:
+                seconds.observe(time.perf_counter() - started)
+                self.metrics.inc("fs_op_errors_total", op=op_name,
+                                 error=type(exc).__name__)
+                raise
+        seconds.observe(time.perf_counter() - started)
+        total.inc()
+        return result
+
+    def _hot_op_metrics(self, op_name: str) -> tuple:
+        """Cached (latency histogram, success counter) for one op name."""
+        metrics = self._op_metrics.get(op_name)
+        if metrics is None:
+            with self._op_metrics_lock:
+                metrics = self._op_metrics.get(op_name)
+                if metrics is None:
+                    metrics = (
+                        self.metrics.histogram("fs_op_seconds", op=op_name),
+                        self.metrics.counter("fs_op_total", op=op_name))
+                    self._op_metrics[op_name] = metrics
+        return metrics
+
+    def _fs_op_attempts(self, op_name: str, fn: Callable[[DALTransaction], Any],
+                        hint: Optional[tuple[str, dict]],
+                        retry_duplicates: bool) -> Any:
         last_exc: Exception = TransactionAbortedError("no attempts")
-        for _attempt in range(8):
+        for attempt in range(8):
             if not self.alive:
                 raise NameNodeUnavailableError(
                     f"namenode {self.nn_id} is down")
+            if attempt:
+                self.metrics.inc("fs_op_retries_total", op=op_name)
             session = self.driver.session()
             try:
                 result = session.run(fn, hint=hint)
-                self._merge_stats(op_name, session.stats)
+                self._merge_stats(op_name, session)
                 return result
             except StaleSubtreeLockError as exc:
-                self._merge_stats(op_name, session.stats)
+                self._merge_stats(op_name, session)
+                tracing.add_event("stale_subtree_lock", owner=exc.owner)
+                self.metrics.inc("fs_op_stale_subtree_locks_total",
+                                 op=op_name)
                 self._clear_stale_subtree_lock(exc)
                 last_exc = exc
             except DuplicateKeyError as exc:
-                self._merge_stats(op_name, session.stats)
+                self._merge_stats(op_name, session)
                 if not retry_duplicates:
                     raise
+                tracing.add_event("duplicate_key_retry")
                 last_exc = exc
             except Exception:
-                self._merge_stats(op_name, session.stats)
+                self._merge_stats(op_name, session)
                 raise
         raise last_exc
 
-    def _merge_stats(self, op_name: str, stats: AccessStats) -> None:
+    def _merge_stats(self, op_name: str, session) -> None:
+        stats = session.stats
         with self._stats_mutex:
             self.stats.merge(stats)
             self.op_count.add(op_name)
+        # bridge the DAL access statistics into the metrics registry
+        # (through cached counter handles — this runs once per operation)
+        for kind, n in stats.by_kind.items():
+            self._db_kind_counters[kind].inc(n)
+        round_trips, read, written, locked, hops = self._db_counters
+        if stats.round_trips:
+            round_trips.inc(stats.round_trips)
+        if stats.rows_read:
+            read.inc(stats.rows_read)
+        if stats.rows_written:
+            written.inc(stats.rows_written)
+        if stats.rows_locked:
+            locked.inc(stats.rows_locked)
+        if stats.remote_partition_hops:
+            hops.inc(stats.remote_partition_hops)
+        tx_retries = getattr(session, "retries_used", 0)
+        if tx_retries:
+            self.metrics.inc("fs_op_tx_retries_total", tx_retries,
+                             op=op_name)
 
     def _clear_stale_subtree_lock(self, exc: StaleSubtreeLockError) -> None:
         """Lazy reclamation of a dead namenode's subtree lock (§6.2)."""
@@ -153,7 +239,35 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
             tx.delete("active_subtree_ops", (row["id"],), must_exist=False)
 
         session.run(fn, hint=("inodes", {"part_key": exc.inode_pk[0]}))
-        self._merge_stats("reclaim_subtree_lock", session.stats)
+        self._merge_stats("reclaim_subtree_lock", session)
+
+    # -- observability ------------------------------------------------------------------
+
+    def metrics_registry(self) -> "MetricsRegistry":
+        """The namenode's registry with point-in-time gauges refreshed.
+
+        Counters and histograms accumulate live inside :meth:`_fs_op`;
+        gauges mirroring other subsystems (hint cache, path resolver)
+        are only brought up to date here, when someone looks.
+        """
+        cache = self.hint_cache.snapshot()
+        metrics = self.metrics
+        for key in ("size", "hits", "misses", "invalidations", "evictions"):
+            metrics.set_gauge(f"hint_cache_{key}", cache[key])
+        metrics.set_gauge("hint_cache_hit_rate", cache["hit_rate"])
+        metrics.set_gauge("resolver_batched_resolutions",
+                          self.resolver.batched_resolutions)
+        metrics.set_gauge("resolver_recursive_resolutions",
+                          self.resolver.recursive_resolutions)
+        return metrics
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-able snapshot of this namenode's metrics."""
+        from repro.metrics import export
+
+        return export.snapshot(self.metrics_registry(),
+                               meta={"namenode": self.nn_id,
+                                     "location": self.location})
 
     # -- membership helpers -------------------------------------------------------------
 

@@ -513,9 +513,8 @@ class InodeOpsMixin:
                           row: dict) -> None:
         """Remove one inode (file or empty dir) and its dependent rows."""
         inode_id = row["id"]
-        blocks_removed = 0
         if not row["is_dir"]:
-            blocks_removed = blk.remove_file_blocks(tx, inode_id)
+            blk.remove_file_blocks(tx, inode_id)
             tx.delete("leases", (inode_id,), must_exist=False)
         else:
             tx.delete("quotas", (inode_id,), must_exist=False)

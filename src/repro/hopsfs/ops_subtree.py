@@ -25,12 +25,12 @@ run in one database transaction. HopsFS instead:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import (
-    DirectoryNotEmptyError,
     FileNotFoundError_,
     NotDirectoryError,
     PermissionDeniedError,
@@ -79,10 +79,12 @@ class SubtreeOpsMixin:
 
     def delete_subtree(self, path: str) -> bool:
         """Recursive delete of a non-empty directory."""
+        started = time.perf_counter()
         ctx = self._subtree_begin(path, "delete")
         try:
             self._subtree_quiesce(ctx)
             self._subtree_delete_phase3(ctx)
+            self._subtree_op_done("delete", started, ctx)
             return True
         except Exception:
             self._subtree_release(ctx)
@@ -90,6 +92,7 @@ class SubtreeOpsMixin:
 
     def move_subtree(self, src: str, dst: str) -> bool:
         """Move of a non-empty directory."""
+        started = time.perf_counter()
         ctx = self._subtree_begin(src, "move")
         try:
             self._subtree_quiesce(ctx)
@@ -102,10 +105,20 @@ class SubtreeOpsMixin:
                 return result
 
             self._fs_op("move_subtree", fn, hint=self._hint_for_parent(src))
+            self._subtree_op_done("move", started, ctx)
             return True
         except Exception:
             self._subtree_release(ctx)
             raise
+
+    def _subtree_op_done(self, op: str, started: float,
+                         ctx: "SubtreeContext") -> None:
+        """End-to-end metrics for a multi-transaction subtree operation
+        (the inner phases record their own per-transaction metrics)."""
+        inodes, _ = _tree_usage(ctx.tree)
+        self.metrics.observe("subtree_op_seconds",
+                             time.perf_counter() - started, op=op)
+        self.metrics.inc("subtree_op_inodes_total", inodes, op=op)
 
     def chmod_subtree(self, path: str, perm: int) -> None:
         """chmod of a non-empty directory (updates the root inode only)."""

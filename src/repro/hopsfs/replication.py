@@ -114,7 +114,7 @@ class ReplicationManager:
                     predicate=lambda r, b=block_id: (
                         r["block_id"] == b
                         and r["dn_id"] not in nn.decommissioning))
-                wanted = max(1, row["replication"])
+                wanted = self._achievable(row["replication"])
                 if (len(others) < wanted
                         and tx.read("urb", (inode_id, block_id)) is None):
                     tx.insert("urb", {"inode_id": inode_id,
@@ -142,11 +142,25 @@ class ReplicationManager:
                     predicate=lambda r, b=block_id: (
                         r["block_id"] == b
                         and r["dn_id"] not in nn.decommissioning))
-                if len(others) < max(1, row["replication"]):
+                if len(others) < self._achievable(row["replication"]):
                     return False
             return True
 
         return nn._fs_op("decommission_check", fn)
+
+    def _achievable(self, replication: int) -> int:
+        """The replica count a block can actually reach right now.
+
+        A cluster with fewer placeable datanodes than the replication
+        factor can never fully satisfy it; demanding the impossible
+        would stall decommissioning forever (the draining node can
+        only retire once every block is as safe as the remaining
+        cluster allows). Never below 1: the last copy of a block must
+        never live only on the draining node.
+        """
+        placeable = self._nn.alive_datanode_ids(
+            include_decommissioning=False)
+        return max(1, min(replication, len(placeable)))
 
     # -- internals ------------------------------------------------------------------
 
@@ -194,6 +208,11 @@ class ReplicationManager:
                 if len(effective) >= row["wanted"]:
                     # replication satisfied since the URB row was written
                     tx.delete("urb", (inode_id, block_id), must_exist=False)
+                    continue
+                if len(effective) >= max(1, min(row["wanted"],
+                                                len(placeable))):
+                    # as replicated as current capacity allows; keep the
+                    # row so the block is topped up if a node joins later
                     continue
                 sources = [r["dn_id"] for r in replicas if r["dn_id"] in alive]
                 if not sources:

@@ -39,6 +39,7 @@ from repro.dal.driver import DALSession, DALTransaction
 from repro.hopsfs import schema as fs_schema
 from repro.hopsfs.hintcache import InodeHintCache
 from repro.hopsfs.paths import join_path, split_path
+from repro.metrics.tracing import span
 from repro.ndb.locks import LockMode
 
 
@@ -171,31 +172,41 @@ class PathResolver:
                                 root=self.root_row())
         if not components:
             return resolved
-        rows = self._resolve_prefix(tx, components)
+        batched_before = self.batched_resolutions
+        with span("resolve", depth=len(components)) as resolve_span:
+            rows = self._resolve_prefix(tx, components)
+            if resolve_span is not None:
+                resolve_span.labels["method"] = (
+                    "batched" if self.batched_resolutions > batched_before
+                    else "recursive")
         # Re-read the components that need locks at the required strength,
         # in root-down order (parent first, then last).
         n = len(components)
-        if (n >= 2 and lock_parent is not LockMode.READ_COMMITTED
-                and len(rows) >= n - 1):
-            parent_row = rows[n - 2]
-            if parent_row is not None:
-                rows[n - 2] = self._reread_locked(tx, parent_row, lock_parent)
-        if lock_last is not LockMode.READ_COMMITTED and len(rows) == n:
-            last_row = rows[n - 1]
-            if last_row is not None:
-                rows[n - 1] = self._reread_locked(tx, last_row, lock_last)
-        elif lock_last is not LockMode.READ_COMMITTED and len(rows) == n - 1:
-            # Path missing only its last component: lock the (future) pk so
-            # concurrent creates of the same name serialize.
-            parent_row = rows[n - 2] if n >= 2 else self.root_row()
-            if parent_row is not None:
-                part_key = self.child_part_key(parent_row["children_random"],
-                                               parent_row["id"],
-                                               components[-1])
-                locked = tx.read("inodes",
-                                 (part_key, parent_row["id"], components[-1]),
-                                 lock=lock_last)
-                rows.append(locked)  # may now exist (raced create)
+        with span("lock", last=lock_last.value, parent=lock_parent.value):
+            if (n >= 2 and lock_parent is not LockMode.READ_COMMITTED
+                    and len(rows) >= n - 1):
+                parent_row = rows[n - 2]
+                if parent_row is not None:
+                    rows[n - 2] = self._reread_locked(tx, parent_row,
+                                                      lock_parent)
+            if lock_last is not LockMode.READ_COMMITTED and len(rows) == n:
+                last_row = rows[n - 1]
+                if last_row is not None:
+                    rows[n - 1] = self._reread_locked(tx, last_row, lock_last)
+            elif (lock_last is not LockMode.READ_COMMITTED
+                    and len(rows) == n - 1):
+                # Path missing only its last component: lock the (future) pk
+                # so concurrent creates of the same name serialize.
+                parent_row = rows[n - 2] if n >= 2 else self.root_row()
+                if parent_row is not None:
+                    part_key = self.child_part_key(
+                        parent_row["children_random"], parent_row["id"],
+                        components[-1])
+                    locked = tx.read(
+                        "inodes",
+                        (part_key, parent_row["id"], components[-1]),
+                        lock=lock_last)
+                    rows.append(locked)  # may now exist (raced create)
         resolved.rows = rows
         if check_subtree_locks:
             self._check_subtree_locks(resolved)

@@ -1,0 +1,55 @@
+"""Unified observability: metrics registry, per-operation tracing, exporters.
+
+The subsystem is dependency-light (stdlib + :mod:`repro.util.stats`) and
+safe to leave on in hot paths: untraced code pays one thread-local read
+per instrumentation point, and tracing itself can be sampled
+(``HopsFSConfig.trace_sample_every``).
+
+Typical use::
+
+    fs = HopsFSCluster(...)
+    ... run a workload ...
+    print(export.summary(fs.metrics_registry()))      # human table
+    text = fs.metrics_prometheus()                    # scrape endpoint body
+    data = fs.metrics_snapshot()                      # JSON-able dict
+"""
+
+from repro.metrics.export import (
+    from_json,
+    prometheus_text,
+    snapshot,
+    summary,
+    to_json,
+)
+from repro.metrics.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.metrics.tracing import (
+    Span,
+    Trace,
+    Tracer,
+    add_event,
+    current_trace,
+    span,
+)
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "add_event",
+    "current_trace",
+    "from_json",
+    "prometheus_text",
+    "snapshot",
+    "span",
+    "summary",
+    "to_json",
+]

@@ -1,0 +1,253 @@
+"""A thread-safe registry of named, labelled metrics.
+
+Three metric families, mirroring the Prometheus data model but with no
+external dependencies:
+
+* :class:`CounterMetric` — monotonically increasing totals (operation
+  counts, retries, database round trips);
+* :class:`GaugeMetric` — point-in-time values (hint-cache size, hit
+  rate, lock-table size);
+* :class:`HistogramMetric` — latency distributions backed by the
+  existing :class:`repro.util.stats.LatencyReservoir` sampler, so p50/p99
+  stay cheap even for millions of observations.
+
+Metrics are identified by ``(name, labels)``; labels are free-form
+keyword arguments (``op="mkdir"``, ``table="inodes"``). Conventions used
+across the tree are documented in ``docs/architecture.md`` §Observability:
+counters end in ``_total``, durations are in seconds and end in
+``_seconds``.
+
+Registries are cheap to create (one per namenode) and mergeable —
+:meth:`MetricsRegistry.merge` sums counters and gauges and folds
+histogram reservoirs together, which is how
+:meth:`repro.hopsfs.cluster.HopsFSCluster.metrics_registry` produces one
+cluster-wide view from per-namenode registries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.util.stats import LatencyReservoir
+
+#: label sets are stored canonically as sorted (key, value) tuples
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: dict[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class CounterMetric:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class GaugeMetric:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class HistogramMetric:
+    """A latency/size distribution (reservoir-sampled percentiles)."""
+
+    __slots__ = ("name", "labels", "_reservoir", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems,
+                 capacity: int = 4096) -> None:
+        self.name = name
+        self.labels = labels
+        self._reservoir = LatencyReservoir(capacity=capacity)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._reservoir.record(value)
+
+    def merge(self, other: "HistogramMetric") -> None:
+        with other._lock:
+            snapshot = other._reservoir
+            count, total, mx = snapshot.count, snapshot.total, snapshot.max
+            samples = list(snapshot._samples)
+        with self._lock:
+            self._reservoir.merge_parts(count, total, mx, samples)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._reservoir.count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._reservoir.total
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._reservoir.max
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._reservoir.mean
+
+    def percentile(self, p: float) -> float:
+        with self._lock:
+            return self._reservoir.percentile(p)
+
+    def percentiles(self, ps: tuple[float, ...] = (50.0, 90.0, 99.0)
+                    ) -> dict[float, float]:
+        with self._lock:
+            return self._reservoir.percentiles(list(ps))
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create home for every metric of one process.
+
+    ``counter``/``gauge``/``histogram`` return the live metric object so
+    hot paths can cache it; the convenience methods ``inc``/``set_gauge``/
+    ``observe`` do a registry lookup per call and are meant for cold
+    paths.
+    """
+
+    def __init__(self, histogram_capacity: int = 4096) -> None:
+        self._histogram_capacity = histogram_capacity
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelItems], CounterMetric] = {}
+        self._gauges: dict[tuple[str, LabelItems], GaugeMetric] = {}
+        self._histograms: dict[tuple[str, LabelItems], HistogramMetric] = {}
+
+    # -- get-or-create ---------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> CounterMetric:
+        key = (name, _label_items(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = CounterMetric(*key)
+            return metric
+
+    def gauge(self, name: str, **labels: object) -> GaugeMetric:
+        key = (name, _label_items(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = GaugeMetric(*key)
+            return metric
+
+    def histogram(self, name: str, **labels: object) -> HistogramMetric:
+        key = (name, _label_items(labels))
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = HistogramMetric(
+                    *key, capacity=self._histogram_capacity)
+            return metric
+
+    # -- convenience recording -------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0, **labels: object) -> None:
+        self.counter(name, **labels).inc(n)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # -- reads -----------------------------------------------------------------
+
+    def get_counter(self, name: str, **labels: object) -> float:
+        key = (name, _label_items(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+        return metric.value if metric is not None else 0.0
+
+    def get_gauge(self, name: str, **labels: object) -> Optional[float]:
+        key = (name, _label_items(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+        return metric.value if metric is not None else None
+
+    def get_histogram(self, name: str, **labels: object
+                      ) -> Optional[HistogramMetric]:
+        key = (name, _label_items(labels))
+        with self._lock:
+            return self._histograms.get(key)
+
+    def counters(self) -> Iterator[CounterMetric]:
+        with self._lock:
+            metrics = list(self._counters.values())
+        return iter(metrics)
+
+    def gauges(self) -> Iterator[GaugeMetric]:
+        with self._lock:
+            metrics = list(self._gauges.values())
+        return iter(metrics)
+
+    def histograms(self) -> Iterator[HistogramMetric]:
+        with self._lock:
+            metrics = list(self._histograms.values())
+        return iter(metrics)
+
+    def sum_counters(self, name: str) -> float:
+        """Sum of one counter family across all label sets."""
+        return sum(c.value for c in self.counters() if c.name == name)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (sums and reservoir unions).
+
+        Counters and gauges add; gauges that are *rates* rather than
+        levels (e.g. ``hint_cache_hit_rate``) should be recomputed by the
+        aggregator from their underlying totals after merging.
+        """
+        for counter in other.counters():
+            self.counter(counter.name,
+                         **dict(counter.labels)).inc(counter.value)
+        for gauge in other.gauges():
+            self.gauge(gauge.name, **dict(gauge.labels)).inc(gauge.value)
+        for histogram in other.histograms():
+            self.histogram(histogram.name,
+                           **dict(histogram.labels)).merge(histogram)

@@ -1,0 +1,319 @@
+"""Per-operation tracing: nested spans over the transaction template.
+
+Every file system operation run through
+:meth:`repro.hopsfs.namenode.NameNode._fs_op` opens a *trace* — a tree of
+:class:`Span`s following the paper's Figure 4 phases:
+
+* ``execute`` — one transaction attempt (the operation body);
+* ``resolve`` — path resolution (batched or recursive), a child of
+  ``execute``;
+* ``lock`` — the strongest-lock re-reads of the last/parent components;
+* ``lock_wait`` — time blocked in the NDB lock manager's wait queue;
+* ``commit`` — the 2PC flush of buffered writes.
+
+Layers below the namenode never hold a tracer reference: they call the
+module-level :func:`span` / :func:`add_event` helpers, which attach to
+the trace bound to the current thread (and degrade to no-ops costing one
+thread-local read when tracing is off, sampled out, or the caller runs
+outside an operation). Zero-duration *events* mark points of interest —
+each database round trip (``db.pk``, ``db.batched_pk``, …), transaction
+retries, stale-subtree-lock reclamations.
+
+The :class:`Tracer` keeps a bounded ring of recent traces plus a
+slow-operation log (traces above ``slow_threshold`` seconds) and, when
+given a registry, folds every finished trace's per-phase durations into
+``hopsfs_phase_seconds`` histograms. ``sample_every=N`` traces every Nth
+operation, bounding overhead on hot paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.metrics.registry import MetricsRegistry
+
+#: span names treated as exclusive phases when aggregating (see
+#: :meth:`Trace.phases`); ``execute`` contributes *self* time only.
+PHASE_SPANS = ("resolve", "lock", "execute", "commit", "lock_wait")
+
+_ACTIVE = threading.local()  # .trace: Optional[Trace]; .registry
+
+
+class Span:
+    """One timed region; forms a tree via ``children``."""
+
+    __slots__ = ("name", "labels", "start", "end", "children")
+
+    def __init__(self, name: str, start: float,
+                 labels: Optional[dict[str, str]] = None) -> None:
+        self.name = name
+        self.labels = labels or {}
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the time covered by direct children."""
+        return max(0.0, self.duration
+                   - sum(child.duration for child in self.children))
+
+    @property
+    def is_event(self) -> bool:
+        return self.end is not None and self.end == self.start
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> str:
+        labels = "".join(f" {k}={v}" for k, v in sorted(self.labels.items()))
+        mark = "·" if self.is_event else f"{self.duration * 1e3:.3f}ms"
+        lines = [f"{'  ' * indent}{self.name}{labels} {mark}"]
+        lines += [child.render(indent + 1) for child in self.children]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, " \
+               f"children={len(self.children)})"
+
+
+class Trace:
+    """One operation's span tree. ``root.name`` is the operation name."""
+
+    __slots__ = ("root", "_stack", "error")
+
+    def __init__(self, op: str, start: float,
+                 labels: Optional[dict[str, str]] = None) -> None:
+        self.root = Span(op, start, labels)
+        self._stack: list[Span] = [self.root]
+        self.error: Optional[str] = None
+
+    @property
+    def op(self) -> str:
+        return self.root.name
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def spans(self, name: Optional[str] = None) -> list[Span]:
+        """All spans (optionally filtered by name), depth-first order."""
+        return [span for span in self.root.walk()
+                if name is None or span.name == name]
+
+    def events(self, name: Optional[str] = None) -> list[Span]:
+        return [span for span in self.spans(name) if span.is_event]
+
+    def phases(self) -> dict[str, float]:
+        """Total seconds per Figure-4 phase.
+
+        ``resolve``/``lock``/``commit``/``lock_wait`` sum span durations;
+        ``execute`` sums *self* time so nested resolve/lock/commit spans
+        are not double counted. Phases with no spans are omitted.
+        """
+        totals: dict[str, float] = {}
+        for span in self.root.walk():
+            if span.name not in PHASE_SPANS:
+                continue
+            seconds = (span.self_time if span.name == "execute"
+                       else span.duration)
+            totals[span.name] = totals.get(span.name, 0.0) + seconds
+        return totals
+
+    def render(self) -> str:
+        status = f" error={self.error}" if self.error else ""
+        return self.root.render() + status
+
+
+class _NullContext:
+    """Shared no-op context manager for unsampled/untraced regions."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL = _NullContext()
+
+
+def current_trace() -> Optional[Trace]:
+    return getattr(_ACTIVE, "trace", None)
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    return getattr(_ACTIVE, "registry", None)
+
+
+class _SpanContext:
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: Trace, span: Span) -> None:
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = time.perf_counter()
+        stack = self._trace._stack
+        # pop up to (and including) our span; robust to unbalanced exits
+        while stack and stack.pop() is not span:
+            pass
+        if not stack:
+            stack.append(self._trace.root)
+        return False
+
+
+def span(name: str, **labels: object):
+    """Open a child span of the current trace (no-op when untraced)."""
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is None:
+        return _NULL
+    parent = trace._stack[-1]
+    child = Span(name, time.perf_counter(),
+                 {k: str(v) for k, v in labels.items()} if labels else None)
+    parent.children.append(child)
+    trace._stack.append(child)
+    return _SpanContext(trace, child)
+
+
+def add_event(name: str, **labels: object) -> None:
+    """Record a zero-duration marker on the current trace (or nothing)."""
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is None:
+        return
+    now = time.perf_counter()
+    event = Span(name, now,
+                 {k: str(v) for k, v in labels.items()} if labels else None)
+    event.end = now
+    trace._stack[-1].children.append(event)
+
+
+def record_access(kind_value: str, table: str) -> None:
+    """Mark one database round trip (called by ``AccessStats.record``)."""
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is None:
+        return
+    now = time.perf_counter()
+    event = Span(f"db.{kind_value}", now, {"table": table})
+    event.end = now
+    trace._stack[-1].children.append(event)
+
+
+class _TraceContext:
+    __slots__ = ("_tracer", "_trace", "_prev_trace", "_prev_registry")
+
+    def __init__(self, tracer: "Tracer", trace: Trace) -> None:
+        self._tracer = tracer
+        self._trace = trace
+
+    def __enter__(self) -> Trace:
+        self._prev_trace = getattr(_ACTIVE, "trace", None)
+        self._prev_registry = getattr(_ACTIVE, "registry", None)
+        _ACTIVE.trace = self._trace
+        _ACTIVE.registry = self._tracer.registry
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.trace = self._prev_trace
+        _ACTIVE.registry = self._prev_registry
+        trace = self._trace
+        trace.root.end = time.perf_counter()
+        if exc_type is not None:
+            trace.error = exc_type.__name__
+        self._tracer._finish(trace)
+        return False
+
+
+class Tracer:
+    """Per-namenode trace collector.
+
+    * ``sample_every=N``: trace every Nth operation (1 = all, 0 = none);
+    * ``ring_size``: completed traces kept for inspection (FIFO);
+    * ``slow_threshold``: seconds above which a trace also lands in the
+      slow-operation log (kept separately so bursts of fast traces cannot
+      evict the interesting ones);
+    * ``registry``: when set, per-phase durations of every finished trace
+      are folded into ``hopsfs_phase_seconds{phase=...}`` histograms and
+      slow ops counted as ``hopsfs_slow_ops_total{op=...}``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 ring_size: int = 256, slow_log_size: int = 64,
+                 slow_threshold: float = 0.5, sample_every: int = 1,
+                 on_finish: Optional[Callable[[Trace], None]] = None) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 disables)")
+        self.registry = registry
+        self.slow_threshold = slow_threshold
+        self.sample_every = sample_every
+        self.on_finish = on_finish
+        self._ring: deque[Trace] = deque(maxlen=ring_size)
+        self._slow: deque[Trace] = deque(maxlen=slow_log_size)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.traces_started = 0
+        self.traces_dropped = 0  # unsampled operations
+
+    # -- tracing ---------------------------------------------------------------
+
+    def trace(self, op: str, **labels: object):
+        """Start a trace for one operation (or a no-op if sampled out)."""
+        if self.sample_every == 0:
+            return _NULL
+        with self._lock:
+            sampled = (self._seq % self.sample_every) == 0
+            self._seq += 1
+            if sampled:
+                self.traces_started += 1
+            else:
+                self.traces_dropped += 1
+        if not sampled:
+            return _NULL
+        trace = Trace(
+            op, time.perf_counter(),
+            {k: str(v) for k, v in labels.items()} if labels else None)
+        return _TraceContext(self, trace)
+
+    def _finish(self, trace: Trace) -> None:
+        with self._lock:
+            self._ring.append(trace)
+            slow = trace.duration >= self.slow_threshold
+            if slow:
+                self._slow.append(trace)
+        if self.registry is not None:
+            for phase, seconds in trace.phases().items():
+                self.registry.observe("hopsfs_phase_seconds", seconds,
+                                      phase=phase)
+            if slow:
+                self.registry.inc("hopsfs_slow_ops_total", op=trace.op)
+        if self.on_finish is not None:
+            self.on_finish(trace)
+
+    # -- inspection ------------------------------------------------------------
+
+    def recent(self, n: Optional[int] = None) -> list[Trace]:
+        with self._lock:
+            traces = list(self._ring)
+        return traces if n is None else traces[-n:]
+
+    def slow_ops(self) -> list[Trace]:
+        with self._lock:
+            return list(self._slow)

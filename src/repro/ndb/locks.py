@@ -27,6 +27,8 @@ from collections import deque
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
+from repro.metrics.tracing import current_registry
+from repro.metrics.tracing import span as trace_span
 
 
 class LockMode(enum.Enum):
@@ -75,6 +77,8 @@ class LockManager:
         self.waits = 0
         self.deadlocks = 0
         self.timeouts = 0
+        #: total seconds spent blocked in wait queues (all transactions)
+        self.wait_seconds = 0.0
 
     # -- public API -----------------------------------------------------------
 
@@ -109,9 +113,18 @@ class LockManager:
             else:
                 row.queue.append(request)
             self.waits += 1
+            table = key[0] if isinstance(key, tuple) and key else "?"
+            started = time.monotonic()
             try:
-                self._wait(row, key, request, owner, deadline)
+                with trace_span("lock_wait", mode=mode.value, table=table):
+                    self._wait(row, key, request, owner, deadline)
             finally:
+                waited = time.monotonic() - started
+                self.wait_seconds += waited
+                registry = current_registry()
+                if registry is not None:
+                    registry.inc("ndb_lock_wait_seconds_total", waited)
+                    registry.inc("ndb_lock_waits_total")
                 if not request.granted:
                     try:
                         row.queue.remove(request)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Optional, TypeVar
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
+from repro.metrics.tracing import add_event, span
 from repro.ndb.stats import AccessStats
 from repro.ndb.transaction import Transaction, TxState
 
@@ -38,15 +39,17 @@ class Session:
         for attempt in range(max(1, retries)):
             tx = self.cluster.begin(hint)
             try:
-                result = fn(tx)
+                with span("execute", attempt=attempt):
+                    result = fn(tx)
                 if tx.state is TxState.ACTIVE:
-                    tx.commit()
+                    tx.commit()  # emits its own "commit" span
                 self.stats.merge(tx.stats)
                 return result
             except (DeadlockError, LockTimeoutError, TransactionAbortedError) as exc:
                 tx.abort()
                 self.stats.merge(tx.stats)
                 self.retries_used += 1
+                add_event("tx_retry", reason=type(exc).__name__)
                 last_exc = exc
             except Exception:
                 tx.abort()

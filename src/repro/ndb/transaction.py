@@ -29,6 +29,7 @@ from repro.errors import (
     SchemaError,
     TransactionAbortedError,
 )
+from repro.metrics.tracing import span
 from repro.ndb.locks import LockMode
 from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
 
@@ -303,7 +304,8 @@ class Transaction:
 
     def commit(self) -> None:
         """Two-phase commit: flush the write batch to all replicas."""
-        with self._mutex:
+        with self._mutex, span("commit", writes=len(self._writes),
+                               participants=len(self._participants)):
             self._check_active()
             try:
                 self._cluster._apply_commit(self)

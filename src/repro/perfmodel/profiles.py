@@ -16,7 +16,7 @@ figures automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable
 
@@ -93,9 +93,21 @@ def _events_to_trips(events: Iterable[AccessEvent],
 #: depth-7 working path mirroring the Spotify mean (16 files per dir)
 _DIR = "/w1/w2/w3/w4/w5/w6"
 
+#: the most recent profiling cluster, kept alive so the benchmark
+#: ``--metrics-json`` hook can snapshot its observability metrics after
+#: the profiled operations ran (None until profiles are first recorded)
+_recording_cluster: HopsFSCluster | None = None
+
+
+def last_recording_cluster() -> HopsFSCluster | None:
+    """The cluster the profiles were measured on, if any were recorded."""
+    return _recording_cluster
+
 
 def _build_recording_cluster() -> tuple[HopsFSCluster, "object"]:
-    config = HopsFSConfig(clock=ManualClock())
+    # benchmarks run tracing in sampled mode: per-op metrics stay exact
+    # while full phase traces are taken for one op in ten
+    config = HopsFSConfig(clock=ManualClock(), trace_sample_every=10)
     fs = HopsFSCluster(
         num_namenodes=1, num_datanodes=3, config=config,
         ndb_config=NDBConfig(num_datanodes=12, replication=2,
@@ -129,6 +141,8 @@ def record_hopsfs_profiles(create_overhead: float = 22e-3
     recording spins up a full functional cluster.
     """
     fs, client = _build_recording_cluster()
+    global _recording_cluster
+    _recording_cluster = fs
     nn = fs.namenodes[0]
     target = f"{_DIR}/file00"
 

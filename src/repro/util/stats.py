@@ -75,6 +75,28 @@ class LatencyReservoir:
         ordered = sorted(self._samples)
         return {p: percentile(ordered, p) for p in ps}
 
+    def merge_parts(self, count: int, total: float, max_value: float,
+                    samples: list[float]) -> None:
+        """Fold another reservoir's state into this one.
+
+        Count/total/max stay exact; the sample pool is the union,
+        down-sampled uniformly back to capacity, so merged percentiles
+        remain an unbiased approximation. Used when aggregating
+        per-namenode metric registries into one cluster view.
+        """
+        self.count += count
+        self.total += total
+        if max_value > self.max:
+            self.max = max_value
+        pool = self._samples + list(samples)
+        if len(pool) > self._capacity:
+            pool = self._rng.sample(pool, self._capacity)
+        self._samples = pool
+
+    def merge(self, other: "LatencyReservoir") -> None:
+        self.merge_parts(other.count, other.total, other.max,
+                         other._samples)
+
 
 @dataclass
 class ThroughputWindow:
@@ -88,15 +110,31 @@ class ThroughputWindow:
     _buckets: dict[int, int] = field(default_factory=dict)
 
     def record(self, t: float, n: int = 1) -> None:
-        self._buckets[int(t // self.width)] = (
-            self._buckets.get(int(t // self.width), 0) + n
-        )
+        idx = int(t // self.width)
+        self._buckets[idx] = self._buckets.get(idx, 0) + n
 
-    def series(self) -> list[tuple[float, float]]:
-        """Return ``(bucket_start_time, events_per_second)`` pairs, sorted."""
+    def series(self, end_time: float | None = None
+               ) -> list[tuple[float, float]]:
+        """Return ``(bucket_start_time, events_per_second)`` pairs, sorted.
+
+        Contract: an empty window always yields ``[]``, regardless of
+        ``end_time``. With ``end_time`` set, zero-count buckets between
+        the first recorded bucket and ``end_time`` are filled in, so
+        plots show gaps (e.g. the failover dip of Figure 10) instead of
+        skipping them.
+        """
+        if not self._buckets:
+            return []
+        if end_time is None:
+            return [
+                (idx * self.width, count / self.width)
+                for idx, count in sorted(self._buckets.items())
+            ]
+        first = min(self._buckets)
+        last = max(int(end_time // self.width), max(self._buckets))
         return [
-            (idx * self.width, count / self.width)
-            for idx, count in sorted(self._buckets.items())
+            (idx * self.width, self._buckets.get(idx, 0) / self.width)
+            for idx in range(first, last + 1)
         ]
 
     def rate_at(self, t: float) -> float:

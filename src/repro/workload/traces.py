@@ -13,10 +13,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.workload.generator import FileSystemOp, OperationGenerator
-from repro.workload.spec import TABLE1_DIR_FRACTION, WRITE_OPS
+from repro.workload.spec import WRITE_OPS
 
 
 @dataclass

@@ -12,7 +12,6 @@ from repro.errors import (
     ParentNotDirectoryError,
     PermissionDeniedError,
 )
-from tests.conftest import make_hopsfs
 
 
 class TestMkdirs:
@@ -309,7 +308,6 @@ class TestAppend:
 class TestLeases:
     def test_add_block_requires_lease_holder(self, fs, client):
         client.create("/f")
-        other = fs.client("intruder")
         with pytest.raises(LeaseConflictError):
             fs.any_namenode().add_block("/f", "intruder")
 

@@ -1,7 +1,5 @@
 """Tests for the block life cycle: URB/PRB/CR/RUC/ER/Inv (paper §4.1)."""
 
-import pytest
-
 from tests.conftest import make_hopsfs
 
 

@@ -8,8 +8,6 @@ threads and assert the namespace ends up exactly consistent.
 
 import threading
 
-import pytest
-
 from repro.errors import FileAlreadyExistsError
 from tests.conftest import make_hopsfs
 

@@ -75,6 +75,24 @@ class TestDecommission:
         # and no replica rows reference the retired datanode
         assert replicas_on(fs, victim) == []
 
+    def test_completes_when_replication_exceeds_remaining_capacity(self):
+        # replication 3 on a 3-node cluster: draining one node leaves
+        # only two possible replica holders, so the full factor is
+        # unsatisfiable — decommission must still terminate once every
+        # block is as safe as the remaining cluster allows
+        fs = make_hopsfs(num_namenodes=1, num_datanodes=3)
+        client = fs.client("capacity")
+        client.write_file("/cap/f", b"x", replication=3)
+        victim = busiest_datanode(fs)
+        fs.start_decommission(victim)
+        for _ in range(4):
+            if fs.decommission_complete(victim):
+                break
+            fs.tick()
+        assert fs.decommission_complete(victim)
+        fs.finish_decommission(victim)
+        assert client.read_file("/cap/f") == b"x"
+
     def test_decommission_idle_datanode_is_immediate(self, loaded):
         fs, _client = loaded
         idle = fs.add_datanode()

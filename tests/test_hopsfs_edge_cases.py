@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import (
     ClusterDownError,
-    FileAlreadyExistsError,
     QuotaExceededError,
 )
 from tests.conftest import make_hopsfs

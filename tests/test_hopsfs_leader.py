@@ -1,6 +1,5 @@
 """Tests for leader election through the database (paper §3, [56])."""
 
-from tests.conftest import make_hopsfs
 
 
 def heartbeat_rounds(fs, rounds):

@@ -9,7 +9,6 @@ levels are spread over shards to avoid hotspots.
 
 import pytest
 
-from repro.hopsfs import schema as fs_schema
 from repro.ndb import AccessKind
 from tests.conftest import make_hopsfs
 
@@ -172,7 +171,6 @@ class TestInodeHintCacheEffect:
     def test_stale_hint_falls_back_and_repairs(self):
         """A move on one namenode leaves stale hints on another (§5.1.1)."""
         fs = make_hopsfs(num_namenodes=2)
-        client = fs.client()
         nn1, nn2 = fs.namenodes
         nn1.mkdirs("/d")
         nn1.create("/d/old", client="c")

@@ -9,7 +9,6 @@ import pytest
 
 from repro.errors import NameNodeUnavailableError, SubtreeLockedError
 from repro.hopsfs import schema as fs_schema
-from tests.conftest import make_hopsfs
 
 
 def build_tree(client, root="/tree", dirs=3, files_per_dir=5, depth=2):
@@ -123,7 +122,7 @@ class TestSubtreeFailureHandling:
     def test_stale_lock_reclaimed_lazily(self, fs, client):
         client.create("/stuck/f")
         victim = fs.namenodes[0]
-        ctx = victim._subtree_begin("/stuck", "delete")
+        victim._subtree_begin("/stuck", "delete")
         victim.kill()
         fs.tick_heartbeats()
         fs.tick_heartbeats()

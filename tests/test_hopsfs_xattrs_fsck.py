@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import FileNotFoundError_, InvalidPathError
 from repro.hopsfs.fsck import Fsck
-from tests.conftest import make_hopsfs
 
 
 class TestXattrs:

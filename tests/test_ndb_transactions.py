@@ -260,7 +260,6 @@ class TestScans:
         self.fill_dir(cluster, 1, 3)
         tx = cluster.begin()
         tx.ppis("inodes", {"parent_id": 1}, lock=LockMode.EXCLUSIVE)
-        schema = cluster.schema("inodes")
         held = cluster._locks.held_keys(tx)
         assert len(held) == 3
         tx.abort()

@@ -7,7 +7,7 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.errors import DuplicateKeyError, NoSuchRowError
+from repro.errors import DuplicateKeyError
 from repro.hopsfs.hintcache import InodeHintCache
 from repro.hopsfs.paths import join_path, normalize, split_path
 from repro.ndb import LockMode, NDBCluster, NDBConfig, TableSchema
