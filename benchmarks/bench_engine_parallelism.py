@@ -1,0 +1,179 @@
+"""Benchmark: shard-parallel engine vs the pre-PR sequential engine.
+
+Measures wall-clock throughput of a mixed read-batch + multi-row-update
+workload at 1/2/4/8 client threads under two engine configurations:
+
+* ``sequential`` — ``lock_stripes=1, executor_threads=0,
+  serial_commit=True``: one lock condition variable, inline shard visits
+  and a globally exclusive commit apply, i.e. the engine as it behaved
+  before the striped lock manager / per-shard dispatch / parallel-2PC
+  work landed.
+* ``parallel`` — the defaults: 16 lock stripes, a shard executor, and
+  group-committed 2PC that holds only the touched fragments' locks.
+
+Both run with the same simulated per-round-trip network delay
+(``network_delay``) — the engine is in-memory, so without modelled
+latency every configuration is GIL-bound pure Python and thread counts
+change nothing; with it, the sequential engine pays one delay after
+another while the parallel engine overlaps them, which is exactly the
+fan-out the paper's NDB deployment gets from real network I/O.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_parallelism.py \
+        --json BENCH_engine_parallelism.json
+
+``--smoke`` shrinks the op counts for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+
+from repro.ndb import NDBCluster, NDBConfig, TableSchema
+
+KV = TableSchema(name="kv", columns=("k", "v"), primary_key=("k",))
+
+THREADS = (1, 2, 4, 8)
+NETWORK_DELAY = 0.0003  # 0.3 ms simulated round trip
+LOG_FLUSH_DELAY = 0.0002
+KEYSPACE = 4096
+BATCH_READ = 4
+WRITES_PER_OP = 2
+
+CONFIGS = {
+    "sequential": dict(lock_stripes=1, executor_threads=0,
+                       serial_commit=True),
+    "parallel": dict(),  # engine defaults
+}
+
+
+def make_cluster(name: str) -> NDBCluster:
+    cluster = NDBCluster(NDBConfig(
+        num_datanodes=4, replication=2, lock_timeout=10.0,
+        network_delay=NETWORK_DELAY, log_flush_delay=LOG_FLUSH_DELAY,
+        **CONFIGS[name]))
+    cluster.create_table(KV)
+    with cluster.begin() as tx:
+        for i in range(0, KEYSPACE, 8):
+            tx.insert("kv", {"k": i, "v": 0})
+    return cluster
+
+
+def run_ops(cluster: NDBCluster, n_threads: int, total_ops: int) -> float:
+    """Drive ``total_ops`` mixed transactions from ``n_threads`` client
+    threads; returns achieved ops/s."""
+    per_thread = total_ops // n_threads
+    barrier = threading.Barrier(n_threads + 1)
+    errors: list[Exception] = []
+
+    def worker(tid: int) -> None:
+        session = cluster.session()
+        rng_base = tid * 7919
+        barrier.wait()
+        try:
+            for i in range(per_thread):
+                # disjoint key ranges per thread: measures engine
+                # overlap, not application-level row conflicts
+                base = (rng_base + i * 17) % KEYSPACE
+                read_keys = [((base + j * 8) % KEYSPACE,)
+                             for j in range(BATCH_READ)]
+                write_keys = [(tid * (KEYSPACE // 8) + i * WRITES_PER_OP + j)
+                              % KEYSPACE + KEYSPACE
+                              for j in range(WRITES_PER_OP)]
+
+                def fn(tx):
+                    tx.read_batch("kv", read_keys)
+                    for k in write_keys:
+                        tx.write("kv", {"k": k, "v": i})
+
+                session.run(fn)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(tid,))
+               for tid in range(n_threads)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return (per_thread * n_threads) / elapsed
+
+
+def run_benchmark(total_ops: int) -> dict:
+    results: dict[str, dict[str, float]] = {}
+    for name in CONFIGS:
+        results[name] = {}
+        for n_threads in THREADS:
+            cluster = make_cluster(name)
+            try:
+                run_ops(cluster, n_threads, max(n_threads, total_ops // 8))
+                ops = run_ops(cluster, n_threads, total_ops)  # warmed
+            finally:
+                cluster.close()
+            results[name][str(n_threads)] = round(ops, 1)
+    seq8 = results["sequential"]["8"]
+    par8 = results["parallel"]["8"]
+    return {
+        "workload": {
+            "total_ops": total_ops,
+            "threads": list(THREADS),
+            "batch_read_keys": BATCH_READ,
+            "writes_per_op": WRITES_PER_OP,
+            "network_delay_s": NETWORK_DELAY,
+            "log_flush_delay_s": LOG_FLUSH_DELAY,
+        },
+        "configs": {name: (cfg or {"note": "engine defaults"})
+                    for name, cfg in CONFIGS.items()},
+        "ops_per_second": results,
+        "speedup_at_8_threads": round(par8 / seq8, 2),
+    }
+
+
+def print_report(report: dict) -> None:
+    print(f"{'threads':>8} | {'sequential ops/s':>17} | "
+          f"{'parallel ops/s':>15} | {'speedup':>8}")
+    print("-" * 58)
+    ops = report["ops_per_second"]
+    for n in report["workload"]["threads"]:
+        seq = ops["sequential"][str(n)]
+        par = ops["parallel"][str(n)]
+        print(f"{n:>8} | {seq:>17.1f} | {par:>15.1f} | {par / seq:>7.2f}x")
+    print(f"\nspeedup at 8 threads: "
+          f"{report['speedup_at_8_threads']:.2f}x (target >= 2x)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON to PATH")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny op counts for CI; no speedup assertion")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="override total ops per cell")
+    args = parser.parse_args()
+
+    total_ops = args.ops if args.ops else (64 if args.smoke else 400)
+    report = run_benchmark(total_ops)
+    print_report(report)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not args.smoke and report["speedup_at_8_threads"] < 2.0:
+        print("FAIL: parallel engine is below the 2x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

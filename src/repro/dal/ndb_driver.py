@@ -32,5 +32,8 @@ class NDBDriver(DALDriver):
     @property
     def engine_name(self) -> str:
         cfg = self.cluster.config
+        dispatch = ("parallel" if self.cluster.parallel_dispatch_enabled
+                    else "inline")
         return (f"ndb(nodes={cfg.num_datanodes}, r={cfg.replication}, "
-                f"partitions={cfg.num_partitions})")
+                f"partitions={cfg.num_partitions}, "
+                f"stripes={cfg.lock_stripes}, dispatch={dispatch})")

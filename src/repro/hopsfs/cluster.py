@@ -262,13 +262,22 @@ class HopsFSCluster:
         total = hits + misses
         merged.set_gauge("hint_cache_hit_rate",
                          hits / total if total else 0.0)
-        locks = getattr(getattr(self.driver, "cluster", None), "_locks", None)
+        ndb = getattr(self.driver, "cluster", None)
+        locks = getattr(ndb, "_locks", None)
         if locks is not None:
             merged.set_gauge("ndb_lock_waits", locks.waits)
             merged.set_gauge("ndb_lock_deadlocks", locks.deadlocks)
             merged.set_gauge("ndb_lock_timeouts", locks.timeouts)
             merged.set_gauge("ndb_lock_wait_seconds", locks.wait_seconds)
             merged.set_gauge("ndb_lock_table_size", locks.lock_table_size())
+            merged.set_gauge("ndb_lock_stripes", locks.num_stripes)
+            for idx, waits in enumerate(locks.stripe_wait_counts()):
+                if waits:
+                    merged.set_gauge("ndb_lock_stripe_waits", waits,
+                                     stripe=idx)
+        if ndb is not None:
+            for key, value in ndb.group_commit_stats.items():
+                merged.set_gauge(f"ndb_group_commit_{key}", value)
         return merged
 
     def metrics_snapshot(self) -> dict:

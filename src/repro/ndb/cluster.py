@@ -2,22 +2,34 @@
 
 Responsibilities:
 
-* owns datanodes, the partition map, the row-lock manager and the commit
-  (redo/undo) log;
+* owns datanodes, the partition map, the striped row-lock manager, the
+  shard executor and the group-committed commit (redo/undo) log;
 * applies committed write batches to every live replica of each touched
-  partition (the effect of NDB's two-phase commit across node groups);
+  partition (the effect of NDB's two-phase commit across node groups) —
+  participants apply their per-node batches in parallel, serialized only
+  per partition, never cluster-wide;
 * node failure handling: aborts transactions coordinated by a dead node
   (transaction-coordinator failover aborts its open transactions), promotes
   backup replicas to primary, and refuses service only when an entire node
   group is gone (paper §2.2.1, §7.6.2);
 * epochs (global checkpoints), local checkpoints and cluster-level crash
   recovery to the last completed epoch (§2.2).
+
+Concurrency model (see ``docs/architecture.md`` §1): ordinary commits take
+the *read* side of a structure gate plus the fragment locks of the
+partitions they touch, so commits on disjoint partitions overlap;
+structural operations (node kill/restart, epoch completion, checkpoints,
+crash recovery) take the *write* side and therefore observe no in-flight
+commit. Row-level isolation is still the lock manager's job.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Any, Callable, Mapping, Optional, TypeVar
 
 from repro.errors import (
@@ -28,13 +40,15 @@ from repro.errors import (
     SchemaError,
     TransactionAbortedError,
 )
+from repro.metrics.tracing import current_registry
 from repro.ndb.config import NDBConfig
-from repro.ndb.datanode import CommitRecord, NDBDatanode, WriteRecord
+from repro.ndb.datanode import CommitRecord, GroupCommitLog, NDBDatanode, WriteRecord
 from repro.ndb.fragment import Fragment
 from repro.ndb.locks import LockManager
 from repro.ndb.partition import PartitionMap
 from repro.ndb.schema import TableSchema
 from repro.ndb.transaction import Transaction, TxState
+from repro.util.rwlock import ReadWriteLock
 
 T = TypeVar("T")
 
@@ -54,21 +68,33 @@ class NDBCluster:
         self._locks = LockManager(
             timeout=self.config.lock_timeout,
             deadlock_detection=self.config.deadlock_detection,
+            stripes=self.config.lock_stripes,
         )
         #: current primary node per partition (same for all tables)
         self._primaries: dict[int, int] = {
             pid: self._pmap.replica_nodes(pid)[0]
             for pid in range((self.config.num_partitions))
         }
+        #: cached pid→primary table for stats recording; rebuilt lazily,
+        #: invalidated whenever placement changes (kill/restart/recovery)
+        self._primary_cache: Optional[tuple[int, ...]] = None
         self._tx_counter = itertools.count(1)
         self._active_txs: dict[int, Transaction] = {}
         self._registry_lock = threading.Lock()
-        #: serializes commit application against kills/snapshots
-        self._apply_lock = threading.RLock()
+        #: commits hold the read side; structural changes (kills, restarts,
+        #: checkpoints, recovery) hold the write side
+        self._structure_gate = ReadWriteLock()
+        #: per-partition commit-apply locks (fragment-level serialization)
+        self._partition_locks = [threading.Lock()
+                                 for _ in range(self.config.num_partitions)]
+        #: shard executor for parallel batch/scan fan-out and participant-
+        #: parallel commit apply (created lazily; None until first use)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_mutex = threading.Lock()
         # epochs / recovery state
         self.epoch = 1
         self.completed_epoch = 0
-        self.commit_log: list[CommitRecord] = []
+        self._commit_log = GroupCommitLog(flush_delay=self.config.log_flush_delay)
         self._lcp_snapshot: Optional[dict[tuple[str, int], dict]] = None
         self._lcp_watermark = 0
         self._coordinator_rr = itertools.count()
@@ -113,8 +139,114 @@ class NDBCluster:
     def _primary_fragment(self, table: str, pid: int) -> Fragment:
         return self.datanodes[self._primary_node(pid)].fragment(table, pid)
 
+    def primary_table(self) -> tuple[int, ...]:
+        """The pid→primary-node table, cached until placement changes.
+
+        Stats recording reads this on every access event; rebuilding the
+        mapping per event was a measurable per-round-trip cost. Entries
+        are not liveness-checked — a concurrent failover invalidates the
+        cache and actual data access still goes through
+        :meth:`_primary_node`, which does check.
+        """
+        cache = self._primary_cache
+        if cache is None:
+            cache = tuple(self._primaries[pid]
+                          for pid in range(self.config.num_partitions))
+            self._primary_cache = cache
+        return cache
+
+    def _invalidate_primary_cache(self) -> None:
+        self._primary_cache = None
+
     def live_replicas(self, pid: int) -> list[int]:
         return [n for n in self._pmap.replica_nodes(pid) if self.datanodes[n].alive]
+
+    # -- commit log (group committed) ------------------------------------------------
+
+    @property
+    def commit_log(self) -> list[CommitRecord]:
+        return self._commit_log.records
+
+    @commit_log.setter
+    def commit_log(self, records: list[CommitRecord]) -> None:
+        self._commit_log.records = list(records)
+
+    @property
+    def group_commit_stats(self) -> dict[str, int]:
+        """Flush counters of the group-committed log (observability)."""
+        return {"flushes": self._commit_log.flushes,
+                "records": len(self._commit_log.records),
+                "max_batch": self._commit_log.max_batch}
+
+    # -- shard executor ---------------------------------------------------------------
+
+    @property
+    def parallel_dispatch_enabled(self) -> bool:
+        """Whether multi-shard work fans out on the executor.
+
+        ``parallel_dispatch=None`` (auto) enables the executor only when
+        round trips carry simulated latency: with zero-latency in-memory
+        shards the fan-out is pure Python compute, which the GIL runs no
+        faster on more threads, so inline execution wins.
+        """
+        if self.config.executor_threads <= 0:
+            return False
+        if self.config.parallel_dispatch is None:
+            return self.config.network_delay > 0
+        return bool(self.config.parallel_dispatch)
+
+    def _shard_executor(self) -> ThreadPoolExecutor:
+        executor = self._executor
+        if executor is None:
+            with self._executor_mutex:
+                executor = self._executor
+                if executor is None:
+                    executor = self._executor = ThreadPoolExecutor(
+                        max_workers=self.config.executor_threads,
+                        thread_name_prefix="ndb-shard")
+        return executor
+
+    def close(self) -> None:
+        """Shut the shard executor down (idempotent; GC also handles it)."""
+        with self._executor_mutex:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def _run_on_shards(self, tasks: list[Callable[[], T]]) -> list[T]:
+        """Run shard-local thunks; in parallel when dispatch is enabled.
+
+        Results keep task order. If any task raises, every task is still
+        awaited (no stragglers left mutating state) and the first
+        exception is re-raised. Records the fan-out width and dispatch
+        path in the active metrics registry.
+        """
+        parallel = len(tasks) > 1 and self.parallel_dispatch_enabled
+        registry = current_registry()
+        if registry is not None:
+            registry.observe("ndb_shard_fanout", len(tasks))
+            registry.inc("ndb_shard_dispatch_total",
+                         path="parallel" if parallel else "inline")
+        if not parallel:
+            return [task() for task in tasks]
+        futures = [self._shard_executor().submit(task) for task in tasks]
+        results: list[T] = []
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_exc is None:
+                    first_exc = exc
+                results.append(None)  # type: ignore[arg-type]
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    def _round_trip(self) -> None:
+        """One simulated network round trip (no-op at zero delay)."""
+        if self.config.network_delay:
+            time.sleep(self.config.network_delay)
 
     # -- sessions / transactions ------------------------------------------------------
 
@@ -181,8 +313,19 @@ class NDBCluster:
     # -- commit application --------------------------------------------------------------
 
     def _apply_commit(self, tx: Transaction) -> None:
-        """Validate participants, apply the write batch, log redo/undo."""
-        with self._apply_lock:
+        """Validate participants, apply the write batch, log redo/undo.
+
+        Holds the structure gate's *read* side (so node kills, epoch
+        completion and recovery never observe a half-applied batch) plus
+        the fragment locks of the touched partitions only — commits on
+        disjoint partitions proceed concurrently. Each participant node
+        applies its slice of the batch in parallel on the shard executor
+        and appends its own redo records; the cluster-level commit record
+        goes through the group-committed log afterwards.
+        """
+        gate = (self._structure_gate.write_locked() if self.config.serial_commit
+                else self._structure_gate.read_locked())
+        with gate:
             if tx.state is not TxState.ACTIVE:
                 raise TransactionAbortedError(f"tx {tx.tx_id} no longer active")
             writes = tx._writes
@@ -195,33 +338,59 @@ class NDBCluster:
                 pid = self.partition_of(table, pk)
                 self._primary_node(pid)  # raises ClusterDownError if group dead
                 touched[(table, pk)] = pid
-            # apply to all live replicas + build the commit record
             record = CommitRecord(tx_id=tx.tx_id, epoch=self.epoch)
             write_pids = []
             rows_written = 0
-            for (table, pk), pending in writes.items():
-                pid = touched[(table, pk)]
-                write_pids.append(pid)
-                before = self._primary_fragment(table, pid).get(pk)
-                for node_id in self.live_replicas(pid):
-                    frag = self.datanodes[node_id].fragment(table, pid)
-                    if pending.op == "delete":
-                        frag.apply_delete(pk)
-                    elif before is None:
-                        # a delete+insert on the same pk inside one tx nets
-                        # out to an update of the committed row, so pick the
-                        # physical operation from the before-image
-                        frag.apply_insert(pending.row)  # type: ignore[arg-type]
-                    else:
-                        frag.apply_update(pk, pending.row)  # type: ignore[arg-type]
-                record.writes.append(
-                    WriteRecord(table=table, partition_id=pid, pk=pk,
-                                before=before,
-                                after=dict(pending.row) if pending.row else None)
-                )
-                rows_written += 1
-            self.commit_log.append(record)
+            with ExitStack() as stack:
+                # fragment-level locks, in pid order (deadlock-free)
+                for pid in sorted(set(touched.values())):
+                    stack.enter_context(self._partition_locks[pid])
+                # before-images + per-participant batches, in write order
+                node_batches: dict[int, list[tuple[Any, Optional[dict],
+                                                   WriteRecord]]] = {}
+                for (table, pk), pending in writes.items():
+                    pid = touched[(table, pk)]
+                    write_pids.append(pid)
+                    before = self._primary_fragment(table, pid).get(pk)
+                    write_record = WriteRecord(
+                        table=table, partition_id=pid, pk=pk, before=before,
+                        after=dict(pending.row) if pending.row else None)
+                    record.writes.append(write_record)
+                    rows_written += 1
+                    for node_id in self.live_replicas(pid):
+                        node_batches.setdefault(node_id, []).append(
+                            (pending, before, write_record))
+
+                def participant(node_id: int, batch) -> Callable[[], None]:
+                    def apply_batch() -> None:
+                        self._round_trip()  # one commit round per participant
+                        node = self.datanodes[node_id]
+                        for pending, before, wrec in batch:
+                            frag = node.fragment(wrec.table, wrec.partition_id)
+                            if pending.op == "delete":
+                                frag.apply_delete(wrec.pk)
+                            elif before is None:
+                                # a delete+insert on the same pk inside one tx
+                                # nets out to an update of the committed row,
+                                # so pick the physical operation from the
+                                # before-image
+                                frag.apply_insert(pending.row)
+                            else:
+                                frag.apply_update(wrec.pk, pending.row)
+                            node.redo_log.append(
+                                (record.tx_id, record.epoch, wrec))
+                    return apply_batch
+
+                self._run_on_shards([participant(node_id, batch) for
+                                     node_id, batch in sorted(node_batches.items())])
+            # group-committed redo append: outside the fragment locks so a
+            # slow log flush never serializes unrelated partition applies
+            batch_size = self._commit_log.append(record)
             tx.state = TxState.COMMITTED
+            registry = current_registry()
+            if registry is not None:
+                registry.observe("ndb_commit_participants", len(node_batches))
+                registry.observe("ndb_group_commit_batch", batch_size)
             # account the flushed write batch + the commit round
             from repro.ndb.stats import AccessEvent, AccessKind
 
@@ -252,7 +421,8 @@ class NDBCluster:
         node = self.datanodes[node_id]
         if not node.alive:
             return
-        with self._apply_lock:
+        with self._structure_gate.write_locked():
+            self._invalidate_primary_cache()
             node.kill()
             victims = []
             with self._registry_lock:
@@ -270,13 +440,14 @@ class NDBCluster:
                     if survivors:
                         self._primaries[pid] = survivors[0]
                     # else: node group down; reads will raise ClusterDownError
+            self._invalidate_primary_cache()
 
     def restart_node(self, node_id: int) -> None:
         """Node recovery: copy fragment replicas back from live peers."""
         node = self.datanodes[node_id]
         if node.alive:
             return
-        with self._apply_lock:
+        with self._structure_gate.write_locked():
             for (table, pid), frag in node.fragments.items():
                 survivors = self.live_replicas(pid)
                 if not survivors:
@@ -287,6 +458,7 @@ class NDBCluster:
                 source = self.datanodes[survivors[0]].fragment(table, pid)
                 frag.load(source.snapshot())
             node.alive = True
+            self._invalidate_primary_cache()
 
     def is_available(self) -> bool:
         """True if every partition has at least one live replica."""
@@ -300,14 +472,14 @@ class NDBCluster:
 
     def complete_epoch(self) -> int:
         """Global checkpoint: transactions committed so far become durable."""
-        with self._apply_lock:
+        with self._structure_gate.write_locked():
             self.completed_epoch = self.epoch
             self.epoch += 1
             return self.completed_epoch
 
     def local_checkpoint(self) -> None:
         """Snapshot fragment state (bounds redo-log replay at recovery)."""
-        with self._apply_lock:
+        with self._structure_gate.write_locked():
             snapshot: dict[tuple[str, int], dict] = {}
             for table, schema in self._schemas.items():
                 for pid in range(self.config.num_partitions):
@@ -325,7 +497,7 @@ class NDBCluster:
         to. Transactions committed in the in-flight epoch are lost — the
         documented NDB semantic.
         """
-        with self._apply_lock:
+        with self._structure_gate.write_locked():
             with self._registry_lock:
                 victims = list(self._active_txs.values())
             self._locks.abort_waiters(victims)
@@ -359,6 +531,7 @@ class NDBCluster:
                 pid: self._pmap.replica_nodes(pid)[0]
                 for pid in range(self.config.num_partitions)
             }
+            self._invalidate_primary_cache()
             return target
 
     def _undo(self, record: CommitRecord) -> None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -26,6 +27,31 @@ class NDBConfig:
     #: enable wait-for-graph deadlock detection (fail fast instead of
     #: waiting for the timeout).
     deadlock_detection: bool = True
+    #: number of hash stripes in the row-lock manager. Each stripe has its
+    #: own mutex/condvar, so lock traffic on unrelated rows never contends.
+    #: 1 reproduces the old single-condition (fully serialized) manager.
+    lock_stripes: int = 16
+    #: worker threads in the per-cluster shard executor used for parallel
+    #: batch/scan fan-out and participant-parallel commit apply. 0 disables
+    #: the executor entirely (all dispatch runs inline on the caller).
+    executor_threads: int = 4
+    #: whether multi-shard work is dispatched on the executor. ``None``
+    #: (auto) enables it only when ``network_delay`` > 0 — with zero
+    #: simulated latency the fan-out is pure Python compute and the GIL
+    #: makes inline execution faster. True/False force it on/off.
+    parallel_dispatch: Optional[bool] = None
+    #: simulated seconds per database round trip (shard visit, participant
+    #: commit round). 0 means no simulated latency (unit-test mode); the
+    #: parallelism benchmark sets it to a sub-millisecond RTT so that the
+    #: engine's fan-out/overlap behaviour is measurable in wall-clock time
+    #: (same philosophy as the DES models, see DESIGN.md §5).
+    network_delay: float = 0.0
+    #: simulated seconds per redo-log flush. 0 disables; > 0 makes the
+    #: group-commit batching observable (many commits share one flush).
+    log_flush_delay: float = 0.0
+    #: serialize commit application under one cluster-wide exclusive lock,
+    #: reproducing the pre-striping engine (benchmark baseline knob).
+    serial_commit: bool = False
 
     def __post_init__(self) -> None:
         if self.num_datanodes < 1:
@@ -41,6 +67,12 @@ class NDBConfig:
             raise ValueError("partitions_per_node must be >= 1")
         if self.lock_timeout <= 0:
             raise ValueError("lock_timeout must be positive")
+        if self.lock_stripes < 1:
+            raise ValueError("lock_stripes must be >= 1")
+        if self.executor_threads < 0:
+            raise ValueError("executor_threads must be >= 0")
+        if self.network_delay < 0 or self.log_flush_delay < 0:
+            raise ValueError("simulated delays must be >= 0")
 
     @property
     def num_node_groups(self) -> int:

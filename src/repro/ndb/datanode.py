@@ -1,16 +1,24 @@
-"""NDB datanodes and the commit log used for recovery.
+"""NDB datanodes and the commit logs used for recovery.
 
 Each datanode stores fragment replicas for the partitions of its node
-group. The cluster keeps a single logical commit log of committed
-transactions (redo records with before-images serving as undo records),
-stamped with the epoch they committed in. Cluster-level recovery restores
-the last local checkpoint and rolls the log forward to the last *completed*
-epoch — transactions that committed in the in-flight epoch are lost, which
-is exactly NDB's global-checkpoint semantics (paper §2.2).
+group, plus a volatile per-node redo log appended by the node's own
+commit-apply work (modelling NDB's per-LDM redo logging — the append
+happens inside the participant's parallel apply, never under a cluster
+mutex). The cluster additionally keeps one logical, GCP-ordered commit
+log of committed transactions (redo records with before-images serving as
+undo records), stamped with the epoch they committed in; appends to it are
+*group committed* (:class:`GroupCommitLog`): concurrent commits stage
+their records and a single flush leader makes the whole batch durable in
+one flush. Cluster-level recovery restores the last local checkpoint and
+rolls that log forward to the last *completed* epoch — transactions that
+committed in the in-flight epoch are lost, which is exactly NDB's
+global-checkpoint semantics (paper §2.2).
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -43,6 +51,63 @@ class CommitRecord:
     writes: list[WriteRecord] = field(default_factory=list)
 
 
+class GroupCommitLog:
+    """Group-committed commit log: concurrent appends share one flush.
+
+    Every append stages its record and returns only once a *flush leader*
+    has made it durable. The first thread to find no flush in progress
+    becomes the leader and drains the entire staged batch in one flush
+    (``flush_delay`` seconds of simulated device latency, slept outside
+    the mutex so followers can keep staging). Records land in staging
+    order, so the log stays sequential; conflicting transactions are
+    already ordered by their row locks.
+    """
+
+    def __init__(self, flush_delay: float = 0.0) -> None:
+        self.flush_delay = flush_delay
+        #: the durable, GCP-ordered log (replayed by cluster recovery)
+        self.records: list[CommitRecord] = []
+        self._cond = threading.Condition()
+        self._staged: list[tuple[int, CommitRecord]] = []
+        self._flushing = False
+        self._next_seq = 0
+        self._flushed_seq = -1
+        # monitoring
+        self.flushes = 0
+        self.max_batch = 0
+        self.last_batch_size = 0
+
+    def append(self, record: CommitRecord) -> int:
+        """Stage ``record``, wait until flushed; returns the batch size
+        the record was flushed in (1 when it flushed alone)."""
+        with self._cond:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._staged.append((seq, record))
+            while True:
+                if self._flushed_seq >= seq:
+                    return self.last_batch_size
+                if not self._flushing:
+                    break  # become the flush leader
+                self._cond.wait()
+            batch = self._staged
+            self._staged = []
+            self._flushing = True
+        if self.flush_delay:
+            time.sleep(self.flush_delay)  # the simulated log-device flush
+        with self._cond:
+            self.records.extend(rec for _seq, rec in batch)
+            self._flushed_seq = max(self._flushed_seq,
+                                    max(s for s, _rec in batch))
+            self._flushing = False
+            self.flushes += 1
+            self.last_batch_size = len(batch)
+            if len(batch) > self.max_batch:
+                self.max_batch = len(batch)
+            self._cond.notify_all()
+            return len(batch)
+
+
 class NDBDatanode:
     """One storage node: fragment replicas plus liveness state."""
 
@@ -52,6 +117,9 @@ class NDBDatanode:
         #: (table_name, partition_id) -> Fragment
         self.fragments: dict[tuple[str, int], Fragment] = {}
         self.failures = 0
+        #: volatile per-node redo: (tx_id, epoch, WriteRecord) appended by
+        #: this node's commit-apply task; lost (cleared) when the node dies
+        self.redo_log: list[tuple[int, int, WriteRecord]] = []
 
     def add_fragment(self, schema: TableSchema, partition_id: int) -> Fragment:
         frag = Fragment(schema, partition_id)
@@ -65,6 +133,7 @@ class NDBDatanode:
         """Simulate a crash: volatile (in-memory) fragment data is lost."""
         self.alive = False
         self.failures += 1
+        self.redo_log = []
         for frag in self.fragments.values():
             frag.load({})
 

@@ -1,4 +1,4 @@
-"""Row-level lock manager: shared/exclusive locks, waits, deadlocks.
+"""Row-level lock manager: striped shared/exclusive locks, waits, deadlocks.
 
 NDB offers read-committed isolation only; serializability of HopsFS
 operations comes from row locks taken inside transactions (paper §2.2.2,
@@ -16,6 +16,20 @@ operations comes from row locks taken inside transactions (paper §2.2.2,
 Locks are logically held at the primary replica of the row's partition; we
 keep them in one manager per cluster, which is equivalent for correctness
 since there is exactly one primary per partition at any time.
+
+**Striping.** The lock table is hash-partitioned over ``stripes``
+independent stripes, each with its own mutex/condvar and row map, so lock
+traffic on unrelated rows never serializes on a shared condition — the
+shared-nothing property NDB's LDM threads have for real. The uncontended
+path is one stripe-mutex acquire, a grant, and a return; the wait-queue
+machinery is only entered on conflict. Cross-stripe deadlock detection
+works on a shared *wait-for edge registry*: every waiting thread publishes
+its current blocker set into a plain dict (GIL-atomic single-reference
+updates, no lock), and the cycle search runs over a snapshot of those
+edges. Edges can be momentarily stale — a request granted between
+publish and search — so a detected cycle is re-confirmed once before
+raising, and wall-clock timeouts remain the backstop for anything the
+registry misses.
 """
 
 from __future__ import annotations
@@ -57,8 +71,27 @@ class _RowLock:
         return not self.owners and not self.queue
 
 
+class _Stripe:
+    """One lock-table stripe: private condvar, rows and held-key index."""
+
+    __slots__ = ("index", "cond", "rows", "held", "waits", "deadlocks",
+                 "timeouts", "wait_seconds")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.cond = threading.Condition()
+        self.rows: dict[Any, _RowLock] = {}
+        #: keys in *this stripe* held per owner
+        self.held: dict[Hashable, set[Any]] = {}
+        # monitoring (per stripe; aggregated by the manager)
+        self.waits = 0
+        self.deadlocks = 0
+        self.timeouts = 0
+        self.wait_seconds = 0.0
+
+
 class LockManager:
-    """Cluster-wide row lock table.
+    """Cluster-wide striped row lock table.
 
     ``owner`` handles are opaque hashable tokens (transaction objects).
     An owner whose transaction is aborted externally (e.g. its coordinator
@@ -66,21 +99,54 @@ class LockManager:
     :class:`TransactionAbortedError` out of its pending acquire.
     """
 
-    def __init__(self, timeout: float = 1.2, deadlock_detection: bool = True) -> None:
+    def __init__(self, timeout: float = 1.2, deadlock_detection: bool = True,
+                 stripes: int = 16) -> None:
         self._timeout = timeout
         self._deadlock_detection = deadlock_detection
-        self._cond = threading.Condition()
-        self._rows: dict[Any, _RowLock] = {}
-        self._held_by_owner: dict[Hashable, set[Any]] = {}
+        self._stripes = [_Stripe(i) for i in range(max(1, stripes))]
+        #: which stripes each owner holds keys in (guarded by _owner_mutex;
+        #: never taken while holding a stripe condvar's inner lock order is
+        #: stripe -> owner_mutex, release_all reads it before any stripe)
+        self._owner_stripes: dict[Hashable, set[int]] = {}
+        self._owner_mutex = threading.Lock()
         self._aborted: set[Hashable] = set()
-        # monitoring
-        self.waits = 0
-        self.deadlocks = 0
-        self.timeouts = 0
-        #: total seconds spent blocked in wait queues (all transactions)
-        self.wait_seconds = 0.0
+        self._abort_mutex = threading.Lock()
+        #: shared wait-for edge registry: waiting owner -> tuple of owners
+        #: it currently waits on. Written only by the waiting thread (and
+        #: cleared by granters); whole-value replacement keeps it coherent
+        #: under the GIL without a lock of its own.
+        self._wait_edges: dict[Hashable, tuple[Hashable, ...]] = {}
 
     # -- public API -----------------------------------------------------------
+
+    def _stripe_of(self, key: Any) -> _Stripe:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    @property
+    def num_stripes(self) -> int:
+        return len(self._stripes)
+
+    # aggregated monitoring counters (kept as the pre-striping attribute
+    # names so the observability layer reads them unchanged)
+    @property
+    def waits(self) -> int:
+        return sum(s.waits for s in self._stripes)
+
+    @property
+    def deadlocks(self) -> int:
+        return sum(s.deadlocks for s in self._stripes)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(s.timeouts for s in self._stripes)
+
+    @property
+    def wait_seconds(self) -> float:
+        return sum(s.wait_seconds for s in self._stripes)
+
+    def stripe_wait_counts(self) -> list[int]:
+        """Per-stripe wait counters (contention skew diagnostics)."""
+        return [s.waits for s in self._stripes]
 
     def acquire(self, owner: Hashable, key: Any, mode: LockMode,
                 timeout: Optional[float] = None) -> None:
@@ -92,15 +158,16 @@ class LockManager:
         """
         if mode is LockMode.READ_COMMITTED:
             return
-        deadline = time.monotonic() + (timeout if timeout is not None else self._timeout)
-        with self._cond:
+        stripe = self._stripe_of(key)
+        with stripe.cond:
             if owner in self._aborted:
                 raise TransactionAbortedError("transaction was aborted")
-            row = self._rows.get(key)
+            row = stripe.rows.get(key)
             if row is None:
-                row = self._rows[key] = _RowLock()
+                row = stripe.rows[key] = _RowLock()
             if self._grantable(row, owner, mode):
-                self._grant(row, key, owner, mode)
+                # uncontended fast path: grant without touching the queue
+                self._grant(stripe, row, key, owner, mode)
                 return
             request = _Request(owner, mode)
             if owner in row.owners:
@@ -112,58 +179,77 @@ class LockManager:
                 row.queue.insert(insert_at, request)
             else:
                 row.queue.append(request)
-            self.waits += 1
+            stripe.waits += 1
+            deadline = time.monotonic() + (timeout if timeout is not None
+                                           else self._timeout)
             table = key[0] if isinstance(key, tuple) and key else "?"
             started = time.monotonic()
             try:
                 with trace_span("lock_wait", mode=mode.value, table=table):
-                    self._wait(row, key, request, owner, deadline)
+                    self._wait(stripe, row, key, request, owner, deadline)
             finally:
+                self._wait_edges.pop(owner, None)
                 waited = time.monotonic() - started
-                self.wait_seconds += waited
+                stripe.wait_seconds += waited
                 registry = current_registry()
                 if registry is not None:
                     registry.inc("ndb_lock_wait_seconds_total", waited)
                     registry.inc("ndb_lock_waits_total")
+                    registry.inc("ndb_lock_stripe_waits_total",
+                                 stripe=stripe.index)
                 if not request.granted:
                     try:
                         row.queue.remove(request)
                     except ValueError:
                         pass
-                    self._dispatch(row, key)
+                    self._dispatch(stripe, row, key)
 
     def release_all(self, owner: Hashable) -> None:
         """Release every lock held by ``owner`` and wake eligible waiters."""
-        with self._cond:
-            keys = self._held_by_owner.pop(owner, set())
-            for key in keys:
-                row = self._rows.get(key)
-                if row is None:
-                    continue
-                row.owners.pop(owner, None)
-                self._dispatch(row, key)
+        with self._owner_mutex:
+            stripe_ids = self._owner_stripes.pop(owner, set())
+        for idx in sorted(stripe_ids):
+            stripe = self._stripes[idx]
+            with stripe.cond:
+                keys = stripe.held.pop(owner, set())
+                for key in keys:
+                    row = stripe.rows.get(key)
+                    if row is None:
+                        continue
+                    row.owners.pop(owner, None)
+                    self._dispatch(stripe, row, key)
+                if keys:
+                    stripe.cond.notify_all()
+        with self._abort_mutex:
             self._aborted.discard(owner)
-            if keys:
-                self._cond.notify_all()
 
     def abort_waiters(self, owners: Iterable[Hashable]) -> None:
         """Mark owners aborted so their pending acquires fail immediately."""
-        with self._cond:
+        with self._abort_mutex:
             self._aborted.update(owners)
-            self._cond.notify_all()
+        for stripe in self._stripes:
+            with stripe.cond:
+                stripe.cond.notify_all()
 
     def holders(self, key: Any) -> dict[Hashable, LockMode]:
-        with self._cond:
-            row = self._rows.get(key)
+        stripe = self._stripe_of(key)
+        with stripe.cond:
+            row = stripe.rows.get(key)
             return dict(row.owners) if row else {}
 
     def held_keys(self, owner: Hashable) -> set[Any]:
-        with self._cond:
-            return set(self._held_by_owner.get(owner, set()))
+        keys: set[Any] = set()
+        for stripe in self._stripes:
+            with stripe.cond:
+                keys.update(stripe.held.get(owner, ()))
+        return keys
 
     def lock_table_size(self) -> int:
-        with self._cond:
-            return len(self._rows)
+        total = 0
+        for stripe in self._stripes:
+            with stripe.cond:
+                total += len(stripe.rows)
+        return total
 
     # -- internals -------------------------------------------------------------
 
@@ -184,16 +270,22 @@ class LockManager:
             return all(m is LockMode.SHARED for m in row.owners.values())
         return False
 
-    def _grant(self, row: _RowLock, key: Any, owner: Hashable, mode: LockMode) -> None:
+    def _grant(self, stripe: _Stripe, row: _RowLock, key: Any,
+               owner: Hashable, mode: LockMode) -> None:
         held = row.owners.get(owner)
         if held is LockMode.EXCLUSIVE:
             return
         row.owners[owner] = mode if held is None else (
             LockMode.EXCLUSIVE if LockMode.EXCLUSIVE in (held, mode) else LockMode.SHARED
         )
-        self._held_by_owner.setdefault(owner, set()).add(key)
+        owned = stripe.held.get(owner)
+        if owned is None:
+            owned = stripe.held[owner] = set()
+            with self._owner_mutex:
+                self._owner_stripes.setdefault(owner, set()).add(stripe.index)
+        owned.add(key)
 
-    def _dispatch(self, row: _RowLock, key: Any) -> None:
+    def _dispatch(self, stripe: _Stripe, row: _RowLock, key: Any) -> None:
         """Grant queued requests from the front while compatible."""
         granted_any = False
         while row.queue:
@@ -214,13 +306,16 @@ class LockManager:
             if not compatible:
                 break
             row.queue.popleft()
-            self._grant(row, key, owner, mode)
+            self._grant(stripe, row, key, owner, mode)
             head.granted = True
+            # retire the waiter's published wait-for edges right at grant
+            # time so stale edges cannot fabricate a cycle elsewhere
+            self._wait_edges.pop(owner, None)
             granted_any = True
         if row.idle():
-            self._rows.pop(key, None)
+            stripe.rows.pop(key, None)
         if granted_any:
-            self._cond.notify_all()
+            stripe.cond.notify_all()
 
     def _blockers(self, row: _RowLock, request: _Request) -> set[Hashable]:
         """Owners/earlier-waiters this request is waiting on (wait-for edges)."""
@@ -233,13 +328,8 @@ class LockManager:
         return blockers
 
     def _detect_deadlock(self, start: Hashable) -> bool:
-        """DFS over the wait-for graph looking for a cycle through ``start``."""
-        graph: dict[Hashable, set[Hashable]] = {}
-        for row in self._rows.values():
-            for queued in row.queue:
-                graph.setdefault(queued.owner, set()).update(
-                    self._blockers(row, queued)
-                )
+        """DFS over the published wait-for edges for a cycle through ``start``."""
+        graph = dict(self._wait_edges)  # GIL-atomic snapshot
         stack = [start]
         seen: set[Hashable] = set()
         while stack:
@@ -252,18 +342,24 @@ class LockManager:
                     stack.append(nxt)
         return False
 
-    def _wait(self, row: _RowLock, key: Any, request: _Request,
+    def _wait(self, stripe: _Stripe, row: _RowLock, key: Any, request: _Request,
               owner: Hashable, deadline: float) -> None:
         while True:
             if request.granted:
                 return
             if owner in self._aborted:
                 raise TransactionAbortedError("transaction was aborted while waiting")
-            if self._deadlock_detection and self._detect_deadlock(owner):
-                self.deadlocks += 1
-                raise DeadlockError(f"deadlock detected while locking {key!r}")
+            if self._deadlock_detection:
+                self._wait_edges[owner] = tuple(self._blockers(row, request))
+                if self._detect_deadlock(owner) and not request.granted:
+                    # edges can be stale for a beat after a grant elsewhere;
+                    # confirm the cycle still exists before aborting
+                    if self._detect_deadlock(owner):
+                        stripe.deadlocks += 1
+                        raise DeadlockError(
+                            f"deadlock detected while locking {key!r}")
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                self.timeouts += 1
+                stripe.timeouts += 1
                 raise LockTimeoutError(f"lock wait timeout on {key!r}")
-            self._cond.wait(timeout=min(remaining, 0.05))
+            stripe.cond.wait(timeout=min(remaining, 0.05))

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Optional, TypeVar
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
-from repro.metrics.tracing import add_event, span
+from repro.metrics.tracing import add_event, current_registry, span
 from repro.ndb.stats import AccessStats
 from repro.ndb.transaction import Transaction, TxState
 
@@ -50,6 +50,10 @@ class Session:
                 self.stats.merge(tx.stats)
                 self.retries_used += 1
                 add_event("tx_retry", reason=type(exc).__name__)
+                registry = current_registry()
+                if registry is not None:
+                    registry.inc("ndb_tx_retries_total",
+                                 reason=type(exc).__name__)
                 last_exc = exc
             except Exception:
                 tx.abort()

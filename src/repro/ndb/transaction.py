@@ -87,9 +87,11 @@ class Transaction:
 
     def _record(self, kind: AccessKind, table: str, partitions: Sequence[int],
                 rows: int, locked: bool, write: bool = False) -> None:
-        nodes = tuple(
-            sorted({self._cluster._primary_node(pid) for pid in partitions})
-        )
+        # the pid→primary table is cached cluster-side and invalidated on
+        # placement changes; rebuilding it per event was a per-round-trip
+        # cost on the hottest stats path
+        primary_table = self._cluster.primary_table()
+        nodes = tuple(sorted({primary_table[pid] for pid in set(partitions)}))
         self.stats.record(
             AccessEvent(
                 kind=kind,
@@ -114,6 +116,7 @@ class Transaction:
         pid = self._cluster.partition_of(table, pk)
         self._lock(table, pk, lock)
         self._check_active()
+        self._cluster._round_trip()
         row = self._committed_or_buffered(table, pid, pk)
         self._record(AccessKind.PK, table, [pid], rows=1 if row else 0,
                      locked=lock is not LockMode.READ_COMMITTED)
@@ -124,21 +127,37 @@ class Transaction:
                    ) -> list[Optional[dict[str, Any]]]:
         """Batched primary-key read: one round trip, parallel on the shards.
 
-        Locks (if requested) are acquired in the order the keys are given —
+        Two phases. The *lock phase* (skipped entirely at READ_COMMITTED)
+        acquires row locks strictly in the order the keys are given —
         callers are responsible for supplying a deadlock-free total order,
-        as HopsFS does (§5, left-ordered depth-first traversal).
+        as HopsFS does (§5, left-ordered depth-first traversal). The
+        *fetch phase* then groups the keys by shard and visits the shards
+        concurrently on the cluster's shard executor: the whole batch
+        costs one parallel round trip, not one per key. Exactly one
+        BATCH_PK access event is recorded per call, whatever the fan-out.
         """
         self._check_active()
         schema = self._cluster.schema(table)
         pks = [schema.pk_tuple(key) for key in keys]
-        rows: list[Optional[dict[str, Any]]] = []
-        pids = []
-        for pk in pks:
-            pid = self._cluster.partition_of(table, pk)
-            pids.append(pid)
-            self._lock(table, pk, lock)
-            self._check_active()
-            rows.append(self._committed_or_buffered(table, pid, pk))
+        pids = [self._cluster.partition_of(table, pk) for pk in pks]
+        if lock is not LockMode.READ_COMMITTED:
+            for pk in pks:
+                self._lock(table, pk, lock)
+                self._check_active()
+        rows: list[Optional[dict[str, Any]]] = [None] * len(pks)
+        by_shard: dict[int, list[int]] = {}
+        for i, pid in enumerate(pids):
+            by_shard.setdefault(pid, []).append(i)
+
+        def shard_fetch(pid: int, indexes: list[int]):
+            def fetch() -> None:
+                self._cluster._round_trip()
+                for i in indexes:
+                    rows[i] = self._committed_or_buffered(table, pid, pks[i])
+            return fetch
+
+        self._cluster._run_on_shards(
+            [shard_fetch(pid, indexes) for pid, indexes in by_shard.items()])
         self._record(AccessKind.BATCH_PK, table, pids,
                      rows=sum(1 for r in rows if r is not None),
                      locked=lock is not LockMode.READ_COMMITTED)
@@ -166,6 +185,7 @@ class Transaction:
                 return False
             return predicate is None or predicate(row)
 
+        self._cluster._round_trip()
         rows = self._scan_partition(table, pid, matches, lock)
         self._record(AccessKind.PPIS, table, [pid], rows=len(rows),
                      locked=lock is not LockMode.READ_COMMITTED)
@@ -190,10 +210,8 @@ class Transaction:
             return predicate is None or predicate(row)
 
         all_pids = range(self._cluster.config.num_partitions)
-        rows: list[dict[str, Any]] = []
-        for pid in all_pids:
-            rows.extend(self._scan_partition(table, pid, matches, lock,
-                                             index=(index_name, key)))
+        rows = self._scan_shards(table, all_pids, matches, lock,
+                                 index=(index_name, key))
         self._record(AccessKind.INDEX_SCAN, table, list(all_pids), rows=len(rows),
                      locked=lock is not LockMode.READ_COMMITTED)
         return rows
@@ -202,16 +220,38 @@ class Transaction:
         """Full table scan across every shard (most expensive access path)."""
         self._check_active()
         all_pids = range(self._cluster.config.num_partitions)
-        rows: list[dict[str, Any]] = []
-        for pid in all_pids:
-            rows.extend(
-                self._scan_partition(table, pid,
-                                     predicate if predicate else lambda _row: True,
-                                     LockMode.READ_COMMITTED)
-            )
+        rows = self._scan_shards(table, all_pids,
+                                 predicate if predicate else lambda _row: True,
+                                 LockMode.READ_COMMITTED)
         self._record(AccessKind.FULL_SCAN, table, list(all_pids), rows=len(rows),
                      locked=False)
         return rows
+
+    def _scan_shards(self, table: str, pids: Sequence[int],
+                     predicate: Callable[[Mapping[str, Any]], bool],
+                     lock: LockMode,
+                     index: Optional[tuple[str, tuple[Any, ...]]] = None,
+                     ) -> list[dict[str, Any]]:
+        """Visit every shard of an all-shard scan, in parallel when unlocked.
+
+        Locking scans stay sequential in pid order: their per-row lock
+        acquisitions must keep one global acquisition order to stay
+        deadlock free. Results always concatenate in pid order.
+        """
+
+        def shard_visit(pid: int):
+            def visit() -> list[dict[str, Any]]:
+                self._cluster._round_trip()
+                return self._scan_partition(table, pid, predicate, lock,
+                                            index=index)
+            return visit
+
+        if lock is not LockMode.READ_COMMITTED:
+            chunks = [shard_visit(pid)() for pid in pids]
+        else:
+            chunks = self._cluster._run_on_shards(
+                [shard_visit(pid) for pid in pids])
+        return [row for chunk in chunks for row in chunk]
 
     # -- writes -----------------------------------------------------------------
 

@@ -6,9 +6,17 @@ semantics when a whole node group dies, epochs and crash recovery to the
 last completed epoch.
 """
 
+import threading
+import time
+
 import pytest
 
-from repro.errors import ClusterDownError, TransactionAbortedError
+from repro.errors import (
+    ClusterDownError,
+    DeadlockError,
+    LockTimeoutError,
+    TransactionAbortedError,
+)
 from repro.ndb import LockMode, NDBCluster, NDBConfig, TableSchema
 
 KV = TableSchema(
@@ -199,3 +207,104 @@ class TestEpochsAndCrashRecovery:
         cluster.crash_and_recover()
         put(cluster, 2, "y")
         assert get(cluster, 2) == "y"
+
+
+def replica_snapshots(cluster, table):
+    """Per-partition row snapshots of every *live* replica of ``table``.
+
+    Returns ``{pid: [rows-of-replica, ...]}`` with each replica's rows in
+    primary-key order, so equality between list entries means the
+    replicas are byte-identical.
+    """
+    schema = cluster.schema(table)
+    out = {}
+    for pid in range(cluster.config.num_partitions):
+        replicas = []
+        for node_id in cluster._pmap.replica_nodes(pid):
+            node = cluster.datanodes[node_id]
+            if not node.alive:
+                continue
+            rows = node.fragment(table, pid).scan()
+            replicas.append(sorted(rows, key=schema.pk_of))
+        out[pid] = replicas
+    return out
+
+
+class TestCommitStormWithFailures:
+    """Parallel commits racing a node kill must never diverge replicas.
+
+    Commits take the structure gate in read mode and kill/restart take it
+    in write mode, so a kill lands *between* commits, never inside one —
+    after the storm every live replica of every partition must hold the
+    same rows.
+    """
+
+    RETRIABLE = (ClusterDownError, DeadlockError, LockTimeoutError,
+                 TransactionAbortedError)
+
+    def _storm(self, cluster, n_threads=6, per_thread=12):
+        errors = []
+
+        def worker(tid):
+            for i in range(per_thread):
+                key = tid * 1000 + i
+                for _attempt in range(12):
+                    try:
+                        put(cluster, key, f"{tid}:{i}")
+                        break
+                    except self.RETRIABLE:
+                        time.sleep(0.002)
+                else:  # pragma: no cover - storm never drained
+                    errors.append(f"key {key} never committed")
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(n_threads)]
+        for t in threads:
+            t.start()
+        return threads, errors
+
+    def test_kill_mid_storm_leaves_replicas_identical(self):
+        cluster = NDBCluster(NDBConfig(
+            num_datanodes=4, replication=2, lock_timeout=5.0,
+            network_delay=0.0002, log_flush_delay=0.0002))
+        cluster.create_table(KV)
+        try:
+            threads, errors = self._storm(cluster)
+            time.sleep(0.02)  # let commits overlap the kill
+            cluster.kill_node(0)
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            assert not errors
+            for pid, replicas in replica_snapshots(cluster, "kv").items():
+                assert replicas, f"partition {pid} lost every replica"
+                for other in replicas[1:]:
+                    assert other == replicas[0], (
+                        f"replicas of partition {pid} diverged")
+            assert cluster.table_size("kv") == 6 * 12
+        finally:
+            cluster.close()
+
+    def test_kill_and_restart_mid_storm_recovers_replica(self):
+        cluster = NDBCluster(NDBConfig(
+            num_datanodes=4, replication=2, lock_timeout=5.0,
+            network_delay=0.0002))
+        cluster.create_table(KV)
+        try:
+            threads, errors = self._storm(cluster, n_threads=4,
+                                          per_thread=10)
+            time.sleep(0.01)
+            cluster.kill_node(1)
+            time.sleep(0.01)
+            cluster.restart_node(1)  # copies fragments from live peer
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            assert not errors
+            snapshots = replica_snapshots(cluster, "kv")
+            for pid, replicas in snapshots.items():
+                assert len(replicas) == 2  # both replicas live again
+                assert replicas[0] == replicas[1]
+            assert cluster.table_size("kv") == 4 * 10
+        finally:
+            cluster.close()
