@@ -85,7 +85,8 @@ def run_ops(cluster: NDBCluster, n_threads: int, total_ops: int) -> float:
                               % KEYSPACE + KEYSPACE
                               for j in range(WRITES_PER_OP)]
 
-                def fn(tx):
+                def fn(tx, i=i, read_keys=read_keys,
+                       write_keys=write_keys):
                     tx.read_batch("kv", read_keys)
                     for k in write_keys:
                         tx.write("kv", {"k": k, "v": i})

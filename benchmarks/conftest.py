@@ -28,6 +28,27 @@ def pytest_addoption(parser):
              "metrics snapshot (repro.metrics) to PATH as JSON")
 
 
+def pytest_configure(config):
+    if os.environ.get("REPRO_LOCK_WITNESS") == "1":
+        from repro.analysis.lockwitness import install_witness
+        install_witness()
+
+
+def _witness_gauges() -> list[dict]:
+    """Lock-order-witness gauges, if a witness is recording this run."""
+    from repro.analysis.lockwitness import current_witness
+
+    witness = current_witness()
+    if witness is None:
+        return []
+    from repro.metrics import export
+    from repro.metrics.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    witness.publish(registry)
+    return export.snapshot(registry)["gauges"]
+
+
 def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--metrics-json", default=None)
     if not path:
@@ -37,6 +58,11 @@ def pytest_sessionfinish(session, exitstatus):
         data = {"error": "no profiling cluster was built during this run"}
     else:
         data = cluster.metrics_snapshot()
+    witness_gauges = _witness_gauges()
+    if witness_gauges:
+        gauges = data.setdefault("gauges", [])
+        gauges.extend(witness_gauges)
+        gauges.sort(key=lambda g: (g["name"], sorted(g["labels"].items())))
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -66,7 +92,8 @@ def print_table(title: str, headers: list[str], rows: list[list[str]],
               for i in range(len(headers))]
 
     def render(cells):
-        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+        return "  ".join(str(c).ljust(w)
+                         for c, w in zip(cells, widths, strict=True))
 
     lines = ["", "=" * len(title), title, "=" * len(title),
              render(headers), "-" * (sum(widths) + 2 * len(widths))]

@@ -1,0 +1,36 @@
+"""Static analysis + runtime verification of the HopsFS invariants.
+
+Two halves (one per failure mode the paper designs around):
+
+* :mod:`repro.analysis.linter` — an AST linter (``python -m
+  repro.analysis lint``) enforcing the transaction discipline rules
+  HFS101–HFS104 (cheap access types on hot paths, total lock order, DAL
+  calls only inside transaction callbacks, ``guarded_by`` annotations on
+  shared mutable state);
+* :mod:`repro.analysis.lockwitness` — an opt-in runtime recorder
+  (``REPRO_LOCK_WITNESS=1``) that builds the lock-acquisition-order
+  graph across the test suite and reports cycles and lock upgrades,
+  validating the §3.4 deadlock-freedom argument empirically.
+"""
+
+from repro.analysis.linter import Violation, lint_paths, lint_source
+from repro.analysis.lockwitness import (
+    LockWitness,
+    WitnessReport,
+    current_witness,
+    install_witness,
+    uninstall_witness,
+)
+from repro.analysis.rules import RULES
+
+__all__ = [
+    "RULES",
+    "LockWitness",
+    "Violation",
+    "WitnessReport",
+    "current_witness",
+    "install_witness",
+    "lint_paths",
+    "lint_source",
+    "uninstall_witness",
+]

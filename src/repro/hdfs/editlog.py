@@ -113,11 +113,10 @@ class QuorumJournalManager:
             for entry in journal.entries_from(txid):
                 count, _ = counts.get(entry.txid, (0, None))
                 counts[entry.txid] = (count + 1, entry)
-        durable = [
+        return [
             entry for _txid, (count, entry) in sorted(counts.items())
             if count >= self.quorum and entry is not None
         ]
-        return durable
 
     def truncate_before(self, txid: int) -> None:
         for journal in self._journals:

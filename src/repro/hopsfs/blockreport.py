@@ -54,13 +54,14 @@ class BlockReportProcessor:
                                      [(block_id,) for block_id in chunk])
 
             rows = nn._fs_op("block_report_lookup", lookup)
-            for block_id, row in zip(chunk, rows):
+            for block_id, row in zip(chunk, rows, strict=True):
                 if row is None:
                     orphans.append(block_id)
                 else:
                     inode_of[block_id] = row["inode_id"]
         # 2. replica rows this datanode is *supposed* to have
         def db_view(tx: DALTransaction) -> list[dict]:
+            # hfs: allow(HFS101, reason=anti-entropy reconciliation needs the full per-datanode view; replicas are keyed by inode)
             return tx.index_scan("replicas", "by_dn", (dn_id,))
 
         existing = nn._fs_op("block_report_dbview", db_view)

@@ -79,8 +79,10 @@ def live_replica_count(tx: DALTransaction, inode_id: int, block_id: int) -> int:
 def check_replication(tx: DALTransaction, inode_id: int, block_id: int,
                       wanted: int) -> None:
     """Reconcile URB/ER state of one block against its live replicas."""
-    replicas = tx.ppis("replicas", {"inode_id": inode_id},
-                       predicate=lambda r: r["block_id"] == block_id)
+    replicas = sorted(
+        tx.ppis("replicas", {"inode_id": inode_id},
+                predicate=lambda r: r["block_id"] == block_id),
+        key=lambda r: r["dn_id"])
     actual = len(replicas)
     urb = tx.read("urb", (inode_id, block_id))
     if actual < wanted:
@@ -129,17 +131,22 @@ def remove_file_blocks(tx: DALTransaction, inode_id: int) -> int:
     (§6.1) — this runs in the same transaction that deletes the inode, so
     failures leave no inconsistency.
     """
-    file_blocks = tx.ppis("blocks", {"inode_id": inode_id})
+    file_blocks = sorted(tx.ppis("blocks", {"inode_id": inode_id}),
+                         key=lambda b: b["block_id"])
     for block in file_blocks:
         block_id = block["block_id"]
-        for replica in tx.ppis("replicas", {"inode_id": inode_id},
-                               predicate=lambda r, b=block_id: r["block_id"] == b):
+        replicas = sorted(
+            tx.ppis("replicas", {"inode_id": inode_id},
+                    predicate=lambda r, b=block_id: r["block_id"] == b),
+            key=lambda r: r["dn_id"])
+        for replica in replicas:
             invalidate_replica(tx, inode_id, block_id, replica["dn_id"])
         tx.delete("blocks", (inode_id, block_id))
         tx.delete("block_lookup", (block_id,), must_exist=False)
     for table in ("ruc", "urb", "prb", "cr", "er"):
-        for row in tx.ppis(table, {"inode_id": inode_id}):
-            key = tuple(row[col] for col in _pk_columns(table))
+        keys = sorted(tuple(row[col] for col in _pk_columns(table))
+                      for row in tx.ppis(table, {"inode_id": inode_id}))
+        for key in keys:
             tx.delete(table, key, must_exist=False)
     return len(file_blocks)
 

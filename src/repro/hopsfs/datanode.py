@@ -39,10 +39,10 @@ Command = ReplicateCommand | InvalidateCommand
 class DataNode:
     def __init__(self, dn_id: int) -> None:
         self.dn_id = dn_id
-        self.alive = True
-        self._blocks: dict[int, bytes] = {}
+        self.alive = True  # guarded_by: GIL
+        self._blocks: dict[int, bytes] = {}  # guarded_by: _mutex
         self._mutex = threading.Lock()
-        self._pending: list[Command] = []
+        self._pending: list[Command] = []  # guarded_by: _mutex
 
     # -- storage ------------------------------------------------------------------
 

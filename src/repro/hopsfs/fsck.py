@@ -190,8 +190,11 @@ class Fsck:
                                "leases", (inode_id,),
                                "file is not under construction")
 
-            # 7. subtree locks owned by dead namenodes
-            for row in inodes:
+            # 7. subtree locks owned by dead namenodes (sorted by pk so the
+            # repair writes follow the global lock order, §3.4)
+            for row in sorted(inodes, key=lambda r: (r["part_key"],
+                                                     r["parent_id"],
+                                                     r["name"])):
                 owner = row["subtree_lock_owner"]
                 if owner == fs_schema.NO_LOCK:
                     continue

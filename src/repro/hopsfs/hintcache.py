@@ -42,12 +42,12 @@ class InodeHintCache:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._capacity = capacity
-        self._entries: OrderedDict[tuple[int, str], InodeHint] = OrderedDict()
+        self._entries: OrderedDict[tuple[int, str], InodeHint] = OrderedDict()  # guarded_by: _mutex
         self._mutex = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._invalidations = 0
-        self._evictions = 0
+        self._hits = 0  # guarded_by: _mutex
+        self._misses = 0  # guarded_by: _mutex
+        self._invalidations = 0  # guarded_by: _mutex
+        self._evictions = 0  # guarded_by: _mutex
 
     def get(self, parent_id: int, name: str) -> Optional[InodeHint]:
         key = (parent_id, name)

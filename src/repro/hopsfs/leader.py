@@ -132,7 +132,7 @@ class LeaderElection:
             return
 
         def fn(tx: DALTransaction) -> None:
-            for nn_id in dead:
+            for nn_id in sorted(dead):
                 tx.delete("le_descriptors", (nn_id,), must_exist=False)
 
         self._session.run(fn)

@@ -46,7 +46,7 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         self.clock = config.clock
         self.nn_id = nn_id
         self.location = location or f"namenode-{nn_id}"
-        self.alive = True
+        self.alive = True  # guarded_by: GIL
         self.hint_cache = InodeHintCache()
         self.leader_election = LeaderElection(
             driver.session(), nn_id, self.location,
@@ -62,7 +62,7 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
                                            batch=config.id_batch_size)
         self._rng = random.Random(nn_id)
         self.stats = AccessStats(keep_events=False)
-        self.op_count = Counter()
+        self.op_count = Counter()  # guarded_by: _stats_mutex
         self._stats_mutex = threading.Lock()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(
@@ -73,7 +73,7 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         # hot-path metric handles, cached so per-operation recording is a
         # couple of lock/inc pairs instead of registry lookups (the
         # registry's get-or-create does label canonicalization each call)
-        self._op_metrics: dict[str, tuple] = {}
+        self._op_metrics: dict[str, tuple] = {}  # guarded_by: _op_metrics_lock [writes]
         self._op_metrics_lock = threading.Lock()
         self._db_kind_counters = {
             kind: self.metrics.counter("db_access_total", kind=kind.value)
@@ -86,7 +86,7 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
             self.metrics.counter("db_remote_partition_hops_total"),
         )
         #: dn_id -> last heartbeat timestamp (soft state from heartbeats)
-        self._dn_heartbeats: dict[int, float] = {}
+        self._dn_heartbeats: dict[int, float] = {}  # guarded_by: GIL
         #: datanodes being drained: no new replicas are placed on them
         self.decommissioning: set[int] = set()
         #: test hooks: tag -> callable, invoked at subtree-protocol stages

@@ -129,6 +129,7 @@ class InodeOpsMixin:
         """
         dir_id = dir_row["id"]
         if dir_row["children_random"]:
+            # hfs: allow(HFS101, reason=random-partitioned dirs spread children across shards by design; §4.2.1)
             rows = tx.index_scan("inodes", "by_parent", (dir_id,), lock=lock)
             if columns is not None:
                 rows = [{c: r[c] for c in columns} for r in rows]
@@ -144,6 +145,7 @@ class InodeOpsMixin:
                           lock: LockMode = LockMode.EXCLUSIVE) -> Optional[dict]:
         """Lock an inode known only by id (datanode-triggered paths)."""
         for _attempt in range(3):
+            # hfs: allow(HFS101, reason=id-only lookup has no path to prune on; bounded retry, rare datanode-triggered path)
             matches = tx.index_scan("inodes", "by_id", (inode_id,))
             if not matches:
                 return None
@@ -196,10 +198,9 @@ class InodeOpsMixin:
                 self._touch_parent(tx, resolved.rows[depth - 1])
             return True
 
-        result = self._fs_op("mkdirs", fn,
-                             hint=self._hint_for_parent(path),
-                             retry_duplicates=True)
-        return result
+        return self._fs_op("mkdirs", fn,
+                           hint=self._hint_for_parent(path),
+                           retry_duplicates=True)
 
     # ------------------------------------------------------------------ create
 
@@ -502,10 +503,12 @@ class InodeOpsMixin:
         return result
 
     def _delete_xattrs(self, tx: DALTransaction, inode_id: int) -> None:
-        for xattr in tx.ppis("xattrs", {"inode_id": inode_id}):
+        for xattr in sorted(tx.ppis("xattrs", {"inode_id": inode_id}),
+                            key=lambda x: x["name"]):
             tx.delete("xattrs", (inode_id, xattr["name"]), must_exist=False)
         tx.delete("ec_files", (inode_id,), must_exist=False)
-        for group in tx.ppis("ec_groups", {"inode_id": inode_id}):
+        for group in sorted(tx.ppis("ec_groups", {"inode_id": inode_id}),
+                            key=lambda g: g["group_idx"]):
             tx.delete("ec_groups", (inode_id, group["group_idx"]),
                       must_exist=False)
 
@@ -722,7 +725,9 @@ class InodeOpsMixin:
         """Renew every lease held by a client; returns how many."""
 
         def fn(tx: DALTransaction) -> int:
-            rows = tx.index_scan("leases", "by_holder", (client,))
+            # hfs: allow(HFS101, reason=leases are keyed by inode; the by-holder lookup has no partition key to prune on)
+            rows = sorted(tx.index_scan("leases", "by_holder", (client,)),
+                          key=lambda r: r["inode_id"])
             now = self.clock.now()
             for row in rows:
                 tx.update("leases", (row["inode_id"],), {"last_renewed": now})
@@ -735,6 +740,7 @@ class InodeOpsMixin:
         deadline = self.clock.now() - self.config.lease_timeout
 
         def find(tx: DALTransaction) -> list[int]:
+            # hfs: allow(HFS101, reason=leader-only housekeeping sweep; runs off the client hot path)
             rows = tx.full_scan("leases",
                                 predicate=lambda r: r["last_renewed"] < deadline)
             return [row["inode_id"] for row in rows]

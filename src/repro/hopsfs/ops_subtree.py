@@ -143,9 +143,11 @@ class SubtreeOpsMixin:
             ns_used, ds_used = _tree_usage(ctx.tree)
 
             def fn(tx: DALTransaction) -> None:
+                # lock the root inode before the quota row: inode rows
+                # come first in the global acquisition order (§3.4)
+                self._subtree_clear_in_tx(tx, ctx)
                 quota_mod.set_quota_row(tx, ctx.root_row["id"], ns_quota,
                                         ds_quota, ns_used, ds_used)
-                self._subtree_clear_in_tx(tx, ctx)
 
             self._fs_op("set_quota", fn, hint=self._hint_for_parent(path))
         except Exception:
@@ -168,8 +170,10 @@ class SubtreeOpsMixin:
                 raise FileNotFoundError_(path)
             if not row["is_dir"]:
                 raise NotDirectoryError(path)
-            # no active subtree operation may overlap this subtree (§6.1)
-            for active in tx.full_scan("active_subtree_ops"):
+            # no active subtree operation may overlap this subtree (§6.1);
+            # sorted by pk so stale-entry reclaims keep one lock order
+            for active in sorted(tx.full_scan("active_subtree_ops"),
+                                 key=lambda a: a["inode_id"]):
                 if (is_same_or_ancestor(path, active["path"])
                         or is_same_or_ancestor(active["path"], path)):
                     if not self._is_namenode_dead(active["nn_id"]):
@@ -214,7 +218,7 @@ class SubtreeOpsMixin:
                     for node in frontier
                 ]
                 next_frontier: list[SubtreeNode] = []
-                for node, future in zip(frontier, futures):
+                for node, future in zip(frontier, futures, strict=True):
                     children = future.result()
                     node.children = children
                     next_frontier.extend(c for c in children if c.is_dir)
@@ -301,7 +305,16 @@ class SubtreeOpsMixin:
         """Delete a batch of already-quiesced inodes in one transaction."""
 
         def fn(tx: DALTransaction) -> None:
-            for node in nodes:
+            # strongest locks up front (§3.4): X-lock every inode of the
+            # batch by ascending id — the one order every multi-inode
+            # transaction uses — before touching any sub-row. The inode X
+            # lock is the hierarchical guard covering the block/lease/
+            # quota/xattr rows deleted below (§5.2.1), so once the first
+            # pass completes no other transaction can contend on them.
+            ordered = sorted(nodes, key=lambda n: n.pk)
+            for node in ordered:
+                tx.read("inodes", node.pk, lock=LockMode.EXCLUSIVE)
+            for node in ordered:
                 if not node.is_dir:
                     blk.remove_file_blocks(tx, node.id)
                     tx.delete("leases", (node.id,), must_exist=False)

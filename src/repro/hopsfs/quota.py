@@ -51,7 +51,7 @@ def enforce_and_queue(tx: DALTransaction, ancestor_ids: Iterable[int],
     if not ids or (ns_delta == 0 and ds_delta == 0):
         return
     rows = tx.read_batch("quotas", [(i,) for i in ids])
-    for inode_id, row in zip(ids, rows):
+    for inode_id, row in zip(ids, rows, strict=True):
         if row is None:
             continue
         if ns_delta > 0 and row["ns_quota"] is not None:
@@ -85,22 +85,28 @@ class QuotaManager:
         """Apply up to ``limit`` queued deltas; returns how many."""
 
         def fn(tx: DALTransaction) -> int:
-            updates = tx.full_scan("quota_updates")
-            applied = 0
+            # the scan itself takes no locks; aggregate first, then lock
+            # quota rows BEFORE the update rows — writers queue updates
+            # while holding quota reads, so quotas come first in the
+            # global acquisition order (§3.4). Both passes sort by pk.
+            updates = sorted(tx.full_scan("quota_updates"),
+                             key=lambda u: u["update_id"])[:limit]
             by_inode: dict[int, tuple[int, int]] = {}
-            for update in updates[:limit]:
+            for update in updates:
                 ns, ds = by_inode.get(update["inode_id"], (0, 0))
                 by_inode[update["inode_id"]] = (ns + update["ns_delta"],
                                                 ds + update["ds_delta"])
-                tx.delete("quota_updates", (update["update_id"],))
-                applied += 1
-            for inode_id, (ns_delta, ds_delta) in by_inode.items():
+            for inode_id, (ns_delta, ds_delta) in sorted(by_inode.items()):
                 row = tx.read("quotas", (inode_id,), lock=LockMode.EXCLUSIVE)
                 if row is None:
                     continue  # quota removed meanwhile; drop the deltas
                 tx.update("quotas", (inode_id,),
                           {"ns_used": row["ns_used"] + ns_delta,
                            "ds_used": row["ds_used"] + ds_delta})
+            applied = 0
+            for update in updates:
+                tx.delete("quota_updates", (update["update_id"],))
+                applied += 1
             return applied
 
         applied = self._session.run(fn)

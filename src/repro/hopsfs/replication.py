@@ -64,6 +64,7 @@ class ReplicationManager:
         nn = self._nn
 
         def find(tx: DALTransaction) -> list[dict]:
+            # hfs: allow(HFS101, reason=datanode-failure recovery; replicas are keyed by inode, not datanode)
             return tx.index_scan("replicas", "by_dn", (dn_id,))
 
         replicas = nn._fs_op("dn_failure_scan", find)
@@ -87,8 +88,11 @@ class ReplicationManager:
                 removed += 1
         # drop RUC entries pointing at the dead datanode
         def drop_ruc(tx: DALTransaction) -> None:
-            for row in tx.full_scan("ruc",
-                                    predicate=lambda r: r["dn_id"] == dn_id):
+            # hfs: allow(HFS101, reason=failure-recovery sweep; RUC rows are keyed by inode, not datanode)
+            stale = sorted(tx.full_scan("ruc",
+                                        predicate=lambda r: r["dn_id"] == dn_id),
+                           key=lambda r: (r["inode_id"], r["block_id"]))
+            for row in stale:
                 tx.delete("ruc", (row["inode_id"], row["block_id"], dn_id),
                           must_exist=False)
 
@@ -102,13 +106,21 @@ class ReplicationManager:
         decommissioning datanode. Returns blocks queued."""
         nn = self._nn
 
-        def fn(tx: DALTransaction) -> int:
-            queued = 0
-            for replica in tx.index_scan("replicas", "by_dn", (dn_id,)):
-                inode_id, block_id = replica["inode_id"], replica["block_id"]
+        def find(tx: DALTransaction) -> list[tuple[int, int]]:
+            # hfs: allow(HFS101, reason=decommission drain; replicas are keyed by inode, not datanode)
+            rows = tx.index_scan("replicas", "by_dn", (dn_id,))
+            return sorted({(r["inode_id"], r["block_id"]) for r in rows})
+
+        # one short transaction per block: inode pks don't sort like ids,
+        # so locking many id-resolved inodes in one transaction cannot
+        # keep the global pk acquisition order (§3.4)
+        queued = 0
+        for inode_id, block_id in nn._fs_op("decommission_scan", find):
+            def queue_one(tx: DALTransaction, inode_id=inode_id,
+                          block_id=block_id) -> bool:
                 row = nn._lock_inode_by_id(tx, inode_id)
                 if row is None:
-                    continue
+                    return False
                 others = tx.ppis(
                     "replicas", {"inode_id": inode_id},
                     predicate=lambda r, b=block_id: (
@@ -121,32 +133,40 @@ class ReplicationManager:
                                       "block_id": block_id,
                                       "level": wanted - len(others),
                                       "wanted": wanted})
-                    queued += 1
-            return queued
+                    return True
+                return False
 
-        return nn._fs_op("decommission_scan", fn)
+            if nn._fs_op("decommission_queue", queue_one):
+                queued += 1
+        return queued
 
     def decommission_complete(self, dn_id: int) -> bool:
         """True once no block depends on the draining datanode anymore."""
         nn = self._nn
 
-        def fn(tx: DALTransaction) -> bool:
-            for replica in tx.index_scan("replicas", "by_dn", (dn_id,)):
-                inode_id, block_id = replica["inode_id"], replica["block_id"]
+        def find(tx: DALTransaction) -> list[tuple[int, int]]:
+            # hfs: allow(HFS101, reason=decommission progress check; replicas are keyed by inode, not datanode)
+            rows = tx.index_scan("replicas", "by_dn", (dn_id,))
+            return sorted({(r["inode_id"], r["block_id"]) for r in rows})
+
+        # per-block transactions for the same reason as the drain above
+        for inode_id, block_id in nn._fs_op("decommission_scan", find):
+            def check_one(tx: DALTransaction, inode_id=inode_id,
+                          block_id=block_id) -> bool:
                 row = nn._lock_inode_by_id(tx, inode_id,
                                            lock=LockMode.SHARED)
                 if row is None:
-                    continue
+                    return True
                 others = tx.ppis(
                     "replicas", {"inode_id": inode_id},
                     predicate=lambda r, b=block_id: (
                         r["block_id"] == b
                         and r["dn_id"] not in nn.decommissioning))
-                if len(others) < self._achievable(row["replication"]):
-                    return False
-            return True
+                return len(others) >= self._achievable(row["replication"])
 
-        return nn._fs_op("decommission_check", fn)
+            if not nn._fs_op("decommission_check", check_one):
+                return False
+        return True
 
     def _achievable(self, replication: int) -> int:
         """The replica count a block can actually reach right now.
@@ -170,10 +190,12 @@ class ReplicationManager:
         alive = set(nn.alive_datanode_ids())
 
         def fn(tx: DALTransaction) -> None:
-            stale = tx.full_scan(
+            # hfs: allow(HFS101, reason=leader-only housekeeping; PRB staleness is a cross-table property)
+            stale = sorted(tx.full_scan(
                 "prb",
                 predicate=lambda r: (r["since"] < deadline
-                                     or r["target_dn"] not in alive))
+                                     or r["target_dn"] not in alive)),
+                key=lambda r: (r["inode_id"], r["block_id"]))
             for row in stale:
                 tx.delete("prb", (row["inode_id"], row["block_id"]),
                           must_exist=False)
@@ -193,7 +215,9 @@ class ReplicationManager:
         commands: list[Command] = []
 
         def fn(tx: DALTransaction) -> None:
-            under = tx.full_scan("urb")
+            # hfs: allow(HFS101, reason=leader-only replication scheduler sweep (§6.2))
+            under = sorted(tx.full_scan("urb"),
+                           key=lambda r: (r["inode_id"], r["block_id"]))
             for row in under:
                 inode_id, block_id = row["inode_id"], row["block_id"]
                 if tx.read("prb", (inode_id, block_id)) is not None:
@@ -239,13 +263,19 @@ class ReplicationManager:
         commands: list[Command] = []
 
         def fn(tx: DALTransaction) -> None:
-            for row in tx.full_scan("inv"):
+            # hfs: allow(HFS101, reason=leader-only invalidation drain sweep)
+            rows = sorted(tx.full_scan("inv"),
+                          key=lambda r: (r["inode_id"], r["block_id"],
+                                         r["dn_id"]))
+            for row in rows:
                 commands.append(InvalidateCommand(block_id=row["block_id"],
                                                   target_dn=row["dn_id"]))
-                tx.delete("inv", (row["inode_id"], row["block_id"],
-                                  row["dn_id"]), must_exist=False)
+                # er before inv: check_replication inserts er first, so
+                # draining in the same order keeps one global order (§3.4)
                 tx.delete("er", (row["inode_id"], row["block_id"],
                                  row["dn_id"]), must_exist=False)
+                tx.delete("inv", (row["inode_id"], row["block_id"],
+                                  row["dn_id"]), must_exist=False)
 
         nn._fs_op("invalidation_scan", fn)
         return commands

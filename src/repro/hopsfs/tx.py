@@ -264,7 +264,8 @@ class PathResolver:
             for (_depth, parent_id, name, hint) in hints
         ]
         rows = tx.read_batch("inodes", keys, lock=LockMode.READ_COMMITTED)
-        for (_depth, parent_id, name, hint), row in zip(hints, rows):
+        for (_depth, parent_id, name, hint), row in zip(hints, rows,
+                                                        strict=True):
             if row is None or row["id"] != hint.inode_id:
                 self._cache.invalidate(parent_id, name)
                 return None
@@ -348,8 +349,8 @@ class IdAllocator:
         self._session = session
         self._sequence = sequence
         self._batch = batch
-        self._next = 0
-        self._limit = 0
+        self._next = 0   # guarded_by: _mutex
+        self._limit = 0  # guarded_by: _mutex
         self._mutex = threading.Lock()
 
     def next(self) -> int:
@@ -392,6 +393,7 @@ class IdAllocator:
                       {"next_value": start + size})
             return start, start + size
 
+        # hfs: allow(HFS104, reason=private helper; next/next_many call it with _mutex already held)
         self._next, self._limit = self._session.run(
             fn, hint=("sequences", {"name": self._sequence})
         )

@@ -163,7 +163,8 @@ def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
               for i in range(len(headers))]
 
     def render(cells) -> str:
-        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+        return "  ".join(str(c).ljust(w)
+                         for c, w in zip(cells, widths, strict=True))
 
     lines = [title, render(headers), "-" * (sum(widths) + 2 * len(widths))]
     lines += [render(r) for r in rows]

@@ -64,6 +64,7 @@ class NDBCluster:
             num_node_groups=self.config.num_node_groups,
             replication=self.config.replication,
         )
+        # guarded_by: GIL -- tables are created during single-threaded setup
         self._schemas: dict[str, TableSchema] = {}
         self._locks = LockManager(
             timeout=self.config.lock_timeout,
@@ -71,32 +72,34 @@ class NDBCluster:
             stripes=self.config.lock_stripes,
         )
         #: current primary node per partition (same for all tables)
+        # guarded_by: _structure_gate [writes]
         self._primaries: dict[int, int] = {
             pid: self._pmap.replica_nodes(pid)[0]
             for pid in range((self.config.num_partitions))
         }
         #: cached pid→primary table for stats recording; rebuilt lazily,
         #: invalidated whenever placement changes (kill/restart/recovery)
-        self._primary_cache: Optional[tuple[int, ...]] = None
+        self._primary_cache: Optional[tuple[int, ...]] = None  # guarded_by: GIL
         self._tx_counter = itertools.count(1)
-        self._active_txs: dict[int, Transaction] = {}
+        self._active_txs: dict[int, Transaction] = {}  # guarded_by: _registry_lock
         self._registry_lock = threading.Lock()
         #: commits hold the read side; structural changes (kills, restarts,
         #: checkpoints, recovery) hold the write side
-        self._structure_gate = ReadWriteLock()
+        self._structure_gate = ReadWriteLock(name="structure_gate")
         #: per-partition commit-apply locks (fragment-level serialization)
         self._partition_locks = [threading.Lock()
                                  for _ in range(self.config.num_partitions)]
         #: shard executor for parallel batch/scan fan-out and participant-
         #: parallel commit apply (created lazily; None until first use)
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded_by: _executor_mutex [writes]
         self._executor_mutex = threading.Lock()
         # epochs / recovery state
-        self.epoch = 1
-        self.completed_epoch = 0
+        self.epoch = 1            # guarded_by: _structure_gate [writes]
+        self.completed_epoch = 0  # guarded_by: _structure_gate [writes]
+        # guarded_by: GIL -- the GroupCommitLog synchronizes internally
         self._commit_log = GroupCommitLog(flush_delay=self.config.log_flush_delay)
-        self._lcp_snapshot: Optional[dict[tuple[str, int], dict]] = None
-        self._lcp_watermark = 0
+        self._lcp_snapshot: Optional[dict[tuple[str, int], dict]] = None  # guarded_by: _structure_gate
+        self._lcp_watermark = 0  # guarded_by: _structure_gate
         self._coordinator_rr = itertools.count()
 
     # -- schema ------------------------------------------------------------------

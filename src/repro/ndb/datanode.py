@@ -66,16 +66,16 @@ class GroupCommitLog:
     def __init__(self, flush_delay: float = 0.0) -> None:
         self.flush_delay = flush_delay
         #: the durable, GCP-ordered log (replayed by cluster recovery)
-        self.records: list[CommitRecord] = []
+        self.records: list[CommitRecord] = []  # guarded_by: _cond
         self._cond = threading.Condition()
-        self._staged: list[tuple[int, CommitRecord]] = []
-        self._flushing = False
-        self._next_seq = 0
-        self._flushed_seq = -1
+        self._staged: list[tuple[int, CommitRecord]] = []  # guarded_by: _cond
+        self._flushing = False  # guarded_by: _cond
+        self._next_seq = 0      # guarded_by: _cond
+        self._flushed_seq = -1  # guarded_by: _cond
         # monitoring
-        self.flushes = 0
-        self.max_batch = 0
-        self.last_batch_size = 0
+        self.flushes = 0         # guarded_by: _cond
+        self.max_batch = 0       # guarded_by: _cond
+        self.last_batch_size = 0  # guarded_by: _cond
 
     def append(self, record: CommitRecord) -> int:
         """Stage ``record``, wait until flushed; returns the batch size

@@ -23,14 +23,16 @@ class Fragment:
     def __init__(self, schema: TableSchema, partition_id: int) -> None:
         self.schema = schema
         self.partition_id = partition_id
-        self._rows: dict[tuple[Any, ...], dict[str, Any]] = {}
+        self._rows: dict[tuple[Any, ...], dict[str, Any]] = {}  # guarded_by: _lock
+        # guarded_by: _lock
         self._indexes: dict[str, dict[tuple[Any, ...], set[tuple[Any, ...]]]] = {
             name: {} for name in schema.indexes
         }
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     # -- reads ----------------------------------------------------------------
 
@@ -113,15 +115,17 @@ class Fragment:
     # -- index maintenance -------------------------------------------------------
 
     def _index_add(self, pk: tuple[Any, ...], row: Mapping[str, Any]) -> None:
-        for name, cols in self.schema.indexes.items():
-            key = tuple(row[col] for col in cols)
-            self._indexes[name].setdefault(key, set()).add(pk)
+        with self._lock:  # reentrant: callers already hold it
+            for name, cols in self.schema.indexes.items():
+                key = tuple(row[col] for col in cols)
+                self._indexes[name].setdefault(key, set()).add(pk)
 
     def _index_remove(self, pk: tuple[Any, ...], row: Mapping[str, Any]) -> None:
-        for name, cols in self.schema.indexes.items():
-            key = tuple(row[col] for col in cols)
-            bucket = self._indexes[name].get(key)
-            if bucket is not None:
-                bucket.discard(pk)
-                if not bucket:
-                    del self._indexes[name][key]
+        with self._lock:  # reentrant: callers already hold it
+            for name, cols in self.schema.indexes.items():
+                key = tuple(row[col] for col in cols)
+                bucket = self._indexes[name].get(key)
+                if bucket is not None:
+                    bucket.discard(pk)
+                    if not bucket:
+                        del self._indexes[name][key]

@@ -99,23 +99,26 @@ class LockManager:
     :class:`TransactionAbortedError` out of its pending acquire.
     """
 
+    #: optionally installed repro.analysis.lockwitness.LockWitness; class
+    #: level so tests can hook every manager without monkeypatching
+    _witness = None
+
     def __init__(self, timeout: float = 1.2, deadlock_detection: bool = True,
                  stripes: int = 16) -> None:
         self._timeout = timeout
         self._deadlock_detection = deadlock_detection
         self._stripes = [_Stripe(i) for i in range(max(1, stripes))]
-        #: which stripes each owner holds keys in (guarded by _owner_mutex;
-        #: never taken while holding a stripe condvar's inner lock order is
-        #: stripe -> owner_mutex, release_all reads it before any stripe)
-        self._owner_stripes: dict[Hashable, set[int]] = {}
+        #: which stripes each owner holds keys in (inner lock order is
+        #: stripe -> owner_mutex; release_all reads it before any stripe)
+        self._owner_stripes: dict[Hashable, set[int]] = {}  # guarded_by: _owner_mutex
         self._owner_mutex = threading.Lock()
-        self._aborted: set[Hashable] = set()
+        self._aborted: set[Hashable] = set()  # guarded_by: _abort_mutex [writes]
         self._abort_mutex = threading.Lock()
         #: shared wait-for edge registry: waiting owner -> tuple of owners
         #: it currently waits on. Written only by the waiting thread (and
         #: cleared by granters); whole-value replacement keeps it coherent
         #: under the GIL without a lock of its own.
-        self._wait_edges: dict[Hashable, tuple[Hashable, ...]] = {}
+        self._wait_edges: dict[Hashable, tuple[Hashable, ...]] = {}  # guarded_by: GIL
 
     # -- public API -----------------------------------------------------------
 
@@ -158,6 +161,9 @@ class LockManager:
         """
         if mode is LockMode.READ_COMMITTED:
             return
+        witness = LockManager._witness
+        if witness is not None:
+            witness.row_requested(self, owner, key, mode.value)
         stripe = self._stripe_of(key)
         with stripe.cond:
             if owner in self._aborted:
@@ -168,6 +174,8 @@ class LockManager:
             if self._grantable(row, owner, mode):
                 # uncontended fast path: grant without touching the queue
                 self._grant(stripe, row, key, owner, mode)
+                if witness is not None:
+                    witness.row_granted(self, owner, key, mode.value)
                 return
             request = _Request(owner, mode)
             if owner in row.owners:
@@ -203,6 +211,8 @@ class LockManager:
                     except ValueError:
                         pass
                     self._dispatch(stripe, row, key)
+            if witness is not None:
+                witness.row_granted(self, owner, key, mode.value)
 
     def release_all(self, owner: Hashable) -> None:
         """Release every lock held by ``owner`` and wake eligible waiters."""
@@ -222,6 +232,9 @@ class LockManager:
                     stripe.cond.notify_all()
         with self._abort_mutex:
             self._aborted.discard(owner)
+        witness = LockManager._witness
+        if witness is not None:
+            witness.owner_released(self, owner)
 
     def abort_waiters(self, owners: Iterable[Hashable]) -> None:
         """Mark owners aborted so their pending acquires fail immediately."""

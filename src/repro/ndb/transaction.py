@@ -62,10 +62,10 @@ class Transaction:
         self._cluster = cluster
         self.tx_id = tx_id
         self.coordinator = coordinator
-        self.state = TxState.ACTIVE
+        self.state = TxState.ACTIVE  # guarded_by: _mutex [writes]
         self.stats = AccessStats()
-        self._writes: dict[tuple[str, tuple[Any, ...]], _Write] = {}
-        self._participants: set[int] = {coordinator}
+        self._writes: dict[tuple[str, tuple[Any, ...]], _Write] = {}  # guarded_by: owner-thread
+        self._participants: set[int] = {coordinator}  # guarded_by: owner-thread
         self._mutex = threading.Lock()  # serializes commit vs external abort
 
     # -- helpers ---------------------------------------------------------------
@@ -142,6 +142,7 @@ class Transaction:
         pids = [self._cluster.partition_of(table, pk) for pk in pks]
         if lock is not LockMode.READ_COMMITTED:
             for pk in pks:
+                # hfs: allow(HFS102, reason=callers supply a deadlock-free total order (§5 left-ordered DFS); see docstring)
                 self._lock(table, pk, lock)
                 self._check_active()
         rows: list[Optional[dict[str, Any]]] = [None] * len(pks)
@@ -234,9 +235,11 @@ class Transaction:
                      ) -> list[dict[str, Any]]:
         """Visit every shard of an all-shard scan, in parallel when unlocked.
 
-        Locking scans stay sequential in pid order: their per-row lock
-        acquisitions must keep one global acquisition order to stay
-        deadlock free. Results always concatenate in pid order.
+        Locking scans run in two phases: an unlocked candidate gather over
+        every shard, then per-row lock acquisition in global pk order —
+        the one acquisition order every locking code path uses (§3.4).
+        Locking shard-by-shard instead would order rows by (shard, pk)
+        and deadlock against pk-ordered transactions.
         """
 
         def shard_visit(pid: int):
@@ -247,11 +250,56 @@ class Transaction:
             return visit
 
         if lock is not LockMode.READ_COMMITTED:
-            chunks = [shard_visit(pid)() for pid in pids]
-        else:
-            chunks = self._cluster._run_on_shards(
-                [shard_visit(pid) for pid in pids])
+            return self._locked_shard_scan(table, pids, predicate, lock,
+                                           index=index)
+        chunks = self._cluster._run_on_shards(
+            [shard_visit(pid) for pid in pids])
         return [row for chunk in chunks for row in chunk]
+
+    def _locked_shard_scan(self, table: str, pids: Sequence[int],
+                           predicate: Callable[[Mapping[str, Any]], bool],
+                           lock: LockMode,
+                           index: Optional[tuple[str, tuple[Any, ...]]] = None,
+                           ) -> list[dict[str, Any]]:
+        """Locking all-shard scan: gather unlocked, then lock in pk order."""
+        schema = self._cluster.schema(table)
+        candidates: list[dict[str, Any]] = []
+        for pid in pids:
+            self._cluster._round_trip()
+            frag = self._cluster._primary_fragment(table, pid)
+            if index is not None:
+                index_name, key = index
+                candidates.extend(frag.index_lookup(index_name, key,
+                                                    predicate))
+            else:
+                candidates.extend(frag.scan(predicate))
+        locked_rows = []
+        # pk order keeps concurrent locking scans deadlock-free (§3.4)
+        for row in sorted(candidates, key=schema.pk_of):
+            pk = schema.pk_of(row)
+            self._lock(table, pk, lock)
+            self._check_active()
+            pid = self._cluster.partition_of(table, pk)
+            fresh = self._cluster._primary_fragment(table, pid).get(pk)
+            if fresh is not None and predicate(fresh):
+                locked_rows.append(fresh)
+        # merge this transaction's own buffered writes
+        merged: dict[tuple[Any, ...], dict[str, Any]] = {
+            schema.pk_of(row): row for row in locked_rows
+        }
+        pid_set = set(pids)
+        for (wtable, pk), pending in self._writes.items():
+            if wtable != table:
+                continue
+            if self._cluster.partition_of(table, pk) not in pid_set:
+                continue
+            if pending.op == "delete":
+                merged.pop(pk, None)
+            elif predicate(pending.row):  # type: ignore[arg-type]
+                merged[pk] = dict(pending.row)  # type: ignore[arg-type]
+            else:
+                merged.pop(pk, None)
+        return list(merged.values())
 
     # -- writes -----------------------------------------------------------------
 
@@ -413,7 +461,8 @@ class Transaction:
             rows = frag.scan(predicate)
         if lock is not LockMode.READ_COMMITTED:
             locked_rows = []
-            for row in rows:
+            # pk order keeps concurrent locking scans deadlock-free (§3.4)
+            for row in sorted(rows, key=schema.pk_of):
                 pk = schema.pk_of(row)
                 self._lock(table, pk, lock)
                 self._check_active()

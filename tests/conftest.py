@@ -1,10 +1,67 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the lock-witness plugin.
+
+Set ``REPRO_LOCK_WITNESS=1`` to record the lock-acquisition-order graph
+across the whole run (see :mod:`repro.analysis.lockwitness`); the session
+fails if the graph has a cycle or a SHARED->EXCLUSIVE upgrade. Tests that
+provoke deadlocks on purpose carry ``@pytest.mark.lock_witness_exempt``.
+"""
+
+import os
 
 import pytest
 
 from repro.hopsfs import HopsFSCluster, HopsFSConfig
 from repro.ndb import NDBConfig
 from repro.util.clock import ManualClock
+
+WITNESS_ENABLED = os.environ.get("REPRO_LOCK_WITNESS") == "1"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "lock_witness_exempt: test provokes deadlocks/upgrades on purpose; "
+        "the lock-order witness ignores it")
+    if WITNESS_ENABLED:
+        from repro.analysis.lockwitness import install_witness
+        install_witness()
+
+
+@pytest.fixture(autouse=True)
+def _lock_witness_pause(request):
+    """Pause witness recording inside deliberately-deadlocking tests."""
+    if not WITNESS_ENABLED:
+        yield
+        return
+    from repro.analysis.lockwitness import current_witness
+    witness = current_witness()
+    if witness is None or request.node.get_closest_marker(
+            "lock_witness_exempt") is None:
+        yield
+        return
+    with witness.paused():
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not WITNESS_ENABLED:
+        return
+    from repro.analysis.lockwitness import current_witness
+    witness = current_witness()
+    if witness is None:
+        return
+    report = witness.report()
+    session.config._lock_witness_report = report
+    if not report.ok and session.exitstatus == 0:
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter):
+    report = getattr(terminalreporter.config, "_lock_witness_report", None)
+    if report is None:
+        return
+    terminalreporter.section("lock-order witness")
+    terminalreporter.write_line(report.render())
 
 
 def make_hopsfs(num_namenodes=2, num_datanodes=3, clock=None,

@@ -59,6 +59,7 @@ def test_reentrant_acquisition(mgr):
     assert mgr.holders("k") == {a: LockMode.EXCLUSIVE}
 
 
+@pytest.mark.lock_witness_exempt
 def test_sole_owner_upgrade_granted_immediately(mgr):
     a = Owner("a")
     mgr.acquire(a, "k", LockMode.SHARED)
@@ -124,6 +125,7 @@ def test_fifo_fairness_no_writer_starvation(mgr):
     assert order == ["w", "r2"]
 
 
+@pytest.mark.lock_witness_exempt
 def test_deadlock_detected_ab_ba(mgr):
     a, b = Owner("a"), Owner("b")
     mgr.acquire(a, "k1", LockMode.EXCLUSIVE)
@@ -157,6 +159,7 @@ def test_deadlock_detected_ab_ba(mgr):
     assert mgr.deadlocks >= 1
 
 
+@pytest.mark.lock_witness_exempt
 def test_upgrade_deadlock_detected(mgr):
     """Two S holders both upgrading to X is the classic upgrade deadlock."""
     a, b = Owner("a"), Owner("b")

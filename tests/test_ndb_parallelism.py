@@ -97,6 +97,7 @@ class TestStripedLocks:
             mgr.release_all(owner)
         assert mgr.lock_table_size() == 0
 
+    @pytest.mark.lock_witness_exempt
     def test_cross_stripe_deadlock_resolves(self):
         """A cycle whose two rows hash to *different* stripes must still
         be broken — the wait-for registry is global, not per stripe."""

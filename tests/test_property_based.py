@@ -131,6 +131,7 @@ _lock_ops = st.lists(
 
 
 @FAST
+@pytest.mark.lock_witness_exempt
 @given(_lock_ops)
 def test_lock_manager_compatibility_invariant(ops):
     """After any sequence of non-blocking acquires/releases, no key has

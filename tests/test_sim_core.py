@@ -122,8 +122,7 @@ def test_all_of_collects_values_in_order():
 
     def parent():
         procs = [env.process(child(d, v)) for d, v in [(3, "x"), (1, "y"), (2, "z")]]
-        values = yield AllOf(env, procs)
-        return values
+        return (yield AllOf(env, procs))
 
     p = env.process(parent())
     env.run()
