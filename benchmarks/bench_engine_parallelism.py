@@ -139,6 +139,62 @@ def run_benchmark(total_ops: int) -> dict:
     }
 
 
+def export_artifacts(chrome_path: str | None,
+                     flight_path: str | None) -> list[str]:
+    """Run a short fully-traced workload on the parallel engine and write
+    the tracing-v2 artifacts: a Chrome/Perfetto timeline of every trace
+    (including worker-thread shard/commit spans) and a flight-recorder
+    dump that contains one deliberately failed, retried operation."""
+    from repro.errors import TransactionAbortedError
+    from repro.metrics import FlightRecorder, Tracer
+    from repro.metrics.traceexport import write_chrome
+
+    cluster = make_cluster("parallel")
+    session = cluster.session()
+    tracer = Tracer(sample_every=1)
+    recorder = FlightRecorder(name="bench")
+    try:
+        for i in range(8):
+            record = recorder.begin("bench_op")
+            with tracer.trace("bench_op") as trace:
+                read_keys = [((i * 64 + j * 8) % KEYSPACE,)
+                             for j in range(BATCH_READ)]
+
+                def fn(tx, i=i, read_keys=read_keys):
+                    tx.read_batch("kv", read_keys)
+                    for j in range(WRITES_PER_OP):
+                        tx.write("kv", {"k": KEYSPACE + i * 8 + j, "v": i})
+
+                session.run(fn)
+            recorder.end(record, trace_id=trace.trace_id)
+
+        record = recorder.begin("bench_fail")
+        trace = None
+        try:
+            with tracer.trace("bench_fail") as trace:
+                def failing(tx):
+                    tx.read("kv", (0,))
+                    raise TransactionAbortedError("bench-injected failure")
+
+                session.run(failing, retries=2)
+        except TransactionAbortedError as exc:
+            recorder.end(record, error=exc,
+                         trace_id=trace.trace_id if trace else None)
+        for trace in tracer.recent():
+            recorder.keep_trace(trace)
+    finally:
+        cluster.close()
+
+    written = []
+    if chrome_path:
+        write_chrome(tracer.recent(), chrome_path,
+                     meta={"source": "bench_engine_parallelism"})
+        written.append(chrome_path)
+    if flight_path:
+        written.append(recorder.dump(flight_path, reason="benchmark"))
+    return written
+
+
 def print_report(report: dict) -> None:
     print(f"{'threads':>8} | {'sequential ops/s':>17} | "
           f"{'parallel ops/s':>15} | {'speedup':>8}")
@@ -160,11 +216,20 @@ def main() -> int:
                         help="tiny op counts for CI; no speedup assertion")
     parser.add_argument("--ops", type=int, default=None,
                         help="override total ops per cell")
+    parser.add_argument("--chrome-trace", metavar="PATH", default=None,
+                        help="export a Chrome/Perfetto timeline of a "
+                             "fully-traced parallel run to PATH")
+    parser.add_argument("--flight-dump", metavar="PATH", default=None,
+                        help="write a flight-recorder dump (including one "
+                             "injected failure) to PATH")
     args = parser.parse_args()
 
     total_ops = args.ops if args.ops else (64 if args.smoke else 400)
     report = run_benchmark(total_ops)
     print_report(report)
+    if args.chrome_trace or args.flight_dump:
+        for path in export_artifacts(args.chrome_trace, args.flight_dump):
+            print(f"wrote {path}")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

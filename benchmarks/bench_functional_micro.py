@@ -91,6 +91,77 @@ class TestHDFSMicro:
         benchmark(op)
 
 
+class TestTracingOverhead:
+    """Cost of tracing v2 at different sampling rates on a hot read path.
+
+    ``sample_every=0`` is the floor (registry-only binding, no spans),
+    ``1`` traces every op (full span trees + shard-attributed events),
+    ``64`` is a production-style rate. Guards the claim that sampling
+    bounds tracing overhead on hot paths.
+    """
+
+    @pytest.mark.parametrize("sample_every", [0, 1, 64])
+    def test_stat_sampled(self, benchmark, sample_every):
+        fs = make_hopsfs(num_namenodes=1, trace_sample_every=sample_every)
+        nn = fs.namenodes[0]
+        nn.mkdirs("/t/dir")
+        nn.create("/t/dir/f")
+        nn.get_file_info("/t/dir/f")  # warm the hint cache
+        benchmark(nn.get_file_info, "/t/dir/f")
+
+
+def measure_tracing_overhead(repeat: int = 6000) -> dict:
+    """Standalone measurement backing ``BENCH_tracing_overhead.json``."""
+    import time
+
+    results = {}
+    for sample_every in (0, 1, 64):
+        fs = make_hopsfs(num_namenodes=1,
+                         trace_sample_every=sample_every)
+        nn = fs.namenodes[0]
+        nn.mkdirs("/t/dir")
+        nn.create("/t/dir/f")
+        for _ in range(repeat // 10):  # warm hint cache + allocator
+            nn.get_file_info("/t/dir/f")
+        t0 = time.perf_counter()
+        for _ in range(repeat):
+            nn.get_file_info("/t/dir/f")
+        per_op = (time.perf_counter() - t0) / repeat
+        results[str(sample_every)] = round(per_op * 1e6, 2)
+    base = results["0"]
+    return {
+        "workload": {"op": "stat (warm hint cache)", "repeat": repeat},
+        "us_per_op_by_sample_every": results,
+        "overhead_pct_full_tracing": round(
+            (results["1"] / base - 1.0) * 100.0, 1),
+        "overhead_pct_sampled_64": round(
+            (results["64"] / base - 1.0) * 100.0, 1),
+    }
+
+
+def main() -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Measure tracing overhead at sample_every 0/1/64")
+    parser.add_argument("--json", metavar="PATH",
+                        default="BENCH_tracing_overhead.json")
+    parser.add_argument("--repeat", type=int, default=6000)
+    args = parser.parse_args()
+    report = measure_tracing_overhead(args.repeat)
+    for rate, us in report["us_per_op_by_sample_every"].items():
+        print(f"sample_every={rate:>2}: {us:8.2f} µs/op")
+    print(f"full-tracing overhead: "
+          f"{report['overhead_pct_full_tracing']:+.1f}%  "
+          f"(1-in-64: {report['overhead_pct_sampled_64']:+.1f}%)")
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
 def test_relative_cost_shape(hopsfs, hdfs, capsys, benchmark):
     """HDFS's in-heap reads are cheaper per call than HopsFS's
     transactional reads — Figure 9's asymmetry, measured for real."""
@@ -117,3 +188,7 @@ def test_relative_cost_shape(hopsfs, hdfs, capsys, benchmark):
                 [["HopsFS (transactional)", f"{hopsfs_stat * 1e6:.0f}"],
                  ["HDFS (in-heap)", f"{hdfs_stat * 1e6:.0f}"]], capsys)
     assert hdfs_stat < hopsfs_stat
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ class HopsShell:
             "decommission": self._decommission,
             "tick": self._tick,
             "metrics": self._metrics,
+            "trace": self._trace,
             "help": self._help,
         }
 
@@ -272,6 +273,86 @@ class HopsShell:
                     lines.append(trace.render())
             return "\n".join(lines) if lines else "(no slow operations)"
         raise CommandError("metrics [summary|json|prom|slow]")
+
+    # -- tracing ------------------------------------------------------------------
+
+    def _all_traces(self) -> list[tuple[int, "object"]]:
+        """(nn_id, Trace) for every kept trace across the cluster."""
+        found = []
+        for nn in self.cluster.namenodes:
+            seen = set()
+            for trace in (nn.tracer.recent() + nn.tracer.slow_ops()
+                          + nn.flight.traces()):
+                if trace.trace_id in seen:
+                    continue
+                seen.add(trace.trace_id)
+                found.append((nn.nn_id, trace))
+        return found
+
+    def _trace(self, args: list[str]) -> str:
+        """``trace top [n]`` | ``trace show <id>`` |
+        ``trace export --chrome [path]`` | ``trace flight [path]``."""
+        from repro.metrics.flightrecorder import dump_all
+        from repro.metrics.traceexport import write_chrome
+
+        sub = args[0] if args else "top"
+        if sub == "top":
+            n = int(args[1]) if len(args) > 1 else 10
+            traces = sorted(self._all_traces(), key=lambda t: t[1].duration,
+                            reverse=True)[:n]
+            if not traces:
+                return "(no traces recorded)"
+            lines = [f"{'trace_id':<10} {'nn':>2} {'ms':>9} {'spans':>5} "
+                     f"op"]
+            for nn_id, trace in traces:
+                suffix = f" error={trace.error}" if trace.error else ""
+                if trace.parent_id:
+                    suffix += f" parent={trace.parent_id}"
+                lines.append(
+                    f"{trace.trace_id:<10} {nn_id:>2} "
+                    f"{trace.duration * 1e3:>9.3f} {len(trace.spans()):>5} "
+                    f"{trace.op}{suffix}")
+            return "\n".join(lines)
+        if sub == "show":
+            if len(args) != 2:
+                raise CommandError("trace show <trace_id>")
+            for nn_id, trace in self._all_traces():
+                if trace.trace_id == args[1]:
+                    header = f"trace {trace.trace_id} (namenode {nn_id}"
+                    if trace.parent_id:
+                        header += f", parent {trace.parent_id}"
+                    header += ")"
+                    return header + "\n" + trace.render()
+            return f"no trace {args[1]!r} in any ring/flight recorder"
+        if sub == "export":
+            rest = [a for a in args[1:] if a != "--chrome"]
+            if "--chrome" not in args[1:]:
+                raise CommandError(
+                    "trace export --chrome [trace_id] [path]")
+            traces = self._all_traces()
+            wanted = [a for a in rest if not a.endswith(".json")]
+            path = next((a for a in rest if a.endswith(".json")),
+                        "traces-chrome.json")
+            if wanted:
+                traces = [(nn, t) for nn, t in traces
+                          if t.trace_id in wanted]
+                if not traces:
+                    return f"no trace {wanted[0]!r} recorded"
+            if not traces:
+                return "(no traces recorded)"
+            write_chrome([t for _nn, t in traces], path,
+                         meta={"source": "repro trace export"})
+            return (f"wrote {len(traces)} trace(s) to {path} "
+                    "(load in chrome://tracing or ui.perfetto.dev)")
+        if sub == "flight":
+            directory = args[1] if len(args) > 1 else "."
+            paths = dump_all(directory, reason="cli")
+            if not paths:
+                return "(no operations recorded)"
+            return "\n".join(f"dumped {p}" for p in paths)
+        raise CommandError(
+            "trace [top [n] | show <id> | export --chrome [id] [path] | "
+            "flight [dir]]")
 
     def _help(self, args: list[str]) -> str:
         return "commands: " + " ".join(sorted(self._commands))

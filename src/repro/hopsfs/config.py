@@ -52,6 +52,19 @@ class HopsFSConfig:
     trace_ring_size: int = 256
     #: operations slower than this (seconds) land in the slow-op log
     slow_op_threshold: float = 0.5
+    #: flight recorder: begin/end records kept per namenode (every op,
+    #: sampled or not); 1 is the useful minimum
+    flight_ring_size: int = 512
+    #: full traces kept by the flight recorder (failed/retried/slow ops)
+    flight_trace_keep: int = 64
+    #: abort-class failures within the last ``flight_storm_window`` ops
+    #: that trigger an automatic flight-recorder dump (when a dump
+    #: directory is configured; see metrics.flightrecorder)
+    flight_storm_threshold: int = 8
+    flight_storm_window: int = 64
+    #: directory for automatic flight-recorder dumps (None: only the
+    #: $REPRO_FLIGHT_DIR environment variable enables auto-dumps)
+    flight_dump_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.random_partition_depth < 0:
@@ -70,3 +83,12 @@ class HopsFSConfig:
             raise ValueError("trace_ring_size must be >= 1")
         if self.slow_op_threshold <= 0:
             raise ValueError("slow_op_threshold must be positive")
+        if self.flight_ring_size < 1:
+            raise ValueError("flight_ring_size must be >= 1")
+        if self.flight_trace_keep < 1:
+            raise ValueError("flight_trace_keep must be >= 1")
+        if self.flight_storm_threshold < 1:
+            raise ValueError("flight_storm_threshold must be >= 1")
+        if self.flight_storm_window < self.flight_storm_threshold:
+            raise ValueError(
+                "flight_storm_window must be >= flight_storm_threshold")

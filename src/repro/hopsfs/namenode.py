@@ -29,8 +29,9 @@ from repro.hopsfs.ops_subtree import SubtreeOpsMixin
 from repro.hopsfs.tx import IdAllocator, PathResolver, StaleSubtreeLockError
 from repro.hopsfs import schema as fs_schema
 from repro.metrics import tracing
+from repro.metrics.flightrecorder import FlightRecorder
 from repro.metrics.registry import MetricsRegistry
-from repro.metrics.tracing import Tracer
+from repro.metrics.tracing import Trace, Tracer
 from repro.ndb.locks import LockMode
 from repro.ndb.stats import AccessKind, AccessStats
 from repro.util.stats import Counter
@@ -65,11 +66,19 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         self.op_count = Counter()  # guarded_by: _stats_mutex
         self._stats_mutex = threading.Lock()
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(
+            name=f"nn{nn_id}",
+            ring_size=config.flight_ring_size,
+            trace_keep=config.flight_trace_keep,
+            storm_threshold=config.flight_storm_threshold,
+            storm_window=config.flight_storm_window,
+            dump_dir=config.flight_dump_dir)
         self.tracer = Tracer(
             registry=self.metrics,
             ring_size=config.trace_ring_size,
             slow_threshold=config.slow_op_threshold,
-            sample_every=config.trace_sample_every)
+            sample_every=config.trace_sample_every,
+            on_finish=self._on_trace_finish)
         # hot-path metric handles, cached so per-operation recording is a
         # couple of lock/inc pairs instead of registry lookups (the
         # registry's get-or-create does label canonicalization each call)
@@ -136,19 +145,33 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         if not self.alive:
             raise NameNodeUnavailableError(f"namenode {self.nn_id} is down")
         seconds, total = self._hot_op_metrics(op_name)
+        record = self.flight.begin(op_name)
         started = time.perf_counter()
-        with self.tracer.trace(op_name):
-            try:
+        trace = None
+        try:
+            with self.tracer.trace(op_name) as trace:
                 result = self._fs_op_attempts(op_name, fn, hint,
                                               retry_duplicates)
-            except Exception as exc:
-                seconds.observe(time.perf_counter() - started)
-                self.metrics.inc("fs_op_errors_total", op=op_name,
-                                 error=type(exc).__name__)
-                raise
+        except Exception as exc:
+            seconds.observe(time.perf_counter() - started)
+            self.metrics.inc("fs_op_errors_total", op=op_name,
+                             error=type(exc).__name__)
+            self.flight.end(record, error=exc,
+                            trace_id=trace.trace_id if trace else None)
+            raise
         seconds.observe(time.perf_counter() - started)
         total.inc()
+        self.flight.end(record,
+                        trace_id=trace.trace_id if trace else None)
         return result
+
+    def _on_trace_finish(self, trace: Trace) -> None:
+        """Keep failed, retried and slow traces in the flight recorder."""
+        if (trace.error is not None
+                or trace.duration >= self.config.slow_op_threshold
+                or len(trace.spans("execute")) > 1
+                or trace.events("tx_retry")):
+            self.flight.keep_trace(trace)
 
     def _hot_op_metrics(self, op_name: str) -> tuple:
         """Cached (latency histogram, success counter) for one op name."""

@@ -41,6 +41,7 @@ from repro.hopsfs import blocks as blk
 from repro.hopsfs import quota as quota_mod
 from repro.hopsfs import schema as fs_schema
 from repro.hopsfs.paths import is_same_or_ancestor, split_path
+from repro.metrics.tracing import TraceContext, link_scope
 from repro.ndb.locks import LockMode
 
 
@@ -80,19 +81,27 @@ class SubtreeOpsMixin:
     def delete_subtree(self, path: str) -> bool:
         """Recursive delete of a non-empty directory."""
         started = time.perf_counter()
-        ctx = self._subtree_begin(path, "delete")
-        try:
-            self._subtree_quiesce(ctx)
-            self._subtree_delete_phase3(ctx)
-            self._subtree_op_done("delete", started, ctx)
-            return True
-        except Exception:
-            self._subtree_release(ctx)
-            raise
+        # every inner transaction of the protocol — including the batch
+        # deletes on worker threads — parents under the phase-1 trace
+        with link_scope():
+            ctx = self._subtree_begin(path, "delete")
+            try:
+                self._subtree_quiesce(ctx)
+                self._subtree_delete_phase3(ctx)
+                self._subtree_op_done("delete", started, ctx)
+                return True
+            except Exception:
+                self._subtree_release(ctx)
+                raise
 
     def move_subtree(self, src: str, dst: str) -> bool:
         """Move of a non-empty directory."""
         started = time.perf_counter()
+        with link_scope():
+            return self._move_subtree_linked(src, dst, started)
+
+    def _move_subtree_linked(self, src: str, dst: str,
+                             started: float) -> bool:
         ctx = self._subtree_begin(src, "move")
         try:
             self._subtree_quiesce(ctx)
@@ -137,6 +146,11 @@ class SubtreeOpsMixin:
         usage, so it runs under the subtree protocol even though phase 3
         only writes the quota row and the root inode.
         """
+        with link_scope():
+            self._set_quota_linked(path, ns_quota, ds_quota)
+
+    def _set_quota_linked(self, path: str, ns_quota: Optional[int],
+                          ds_quota: Optional[int]) -> None:
         ctx = self._subtree_begin(path, "set_quota", allow_empty=True)
         try:
             self._subtree_quiesce(ctx)
@@ -210,11 +224,15 @@ class SubtreeOpsMixin:
             size=root["size"], replication=root["replication"], level=0,
             children_random=root["children_random"])
         frontier = [ctx.tree]
+        # carry the link (and any live trace binding) onto the workers so
+        # their per-directory transactions parent under the root trace
+        submit_ctx = TraceContext.capture()
         with ThreadPoolExecutor(
                 max_workers=self.config.subtree_parallelism) as pool:
             while frontier:
                 futures = [
-                    pool.submit(self._quiesce_directory, node)
+                    pool.submit(submit_ctx.wrap(self._quiesce_directory),
+                                node)
                     for node in frontier
                 ]
                 next_frontier: list[SubtreeNode] = []
@@ -261,6 +279,7 @@ class SubtreeOpsMixin:
                        for nodes in by_level.values() for n in nodes
                        if not n.is_dir)
         batch = self.config.subtree_batch_size
+        submit_ctx = TraceContext.capture()
         with ThreadPoolExecutor(
                 max_workers=self.config.subtree_parallelism) as pool:
             for level in sorted(by_level, reverse=True):
@@ -268,7 +287,8 @@ class SubtreeOpsMixin:
                     continue  # the root is deleted last, below
                 nodes = by_level[level]
                 futures = [
-                    pool.submit(self._delete_batch, nodes[i: i + batch])
+                    pool.submit(submit_ctx.wrap(self._delete_batch),
+                                nodes[i: i + batch])
                     for i in range(0, len(nodes), batch)
                 ]
                 for future in futures:
@@ -328,6 +348,11 @@ class SubtreeOpsMixin:
 
     def _subtree_root_update(self, path: str, op: str, changes: dict) -> None:
         """Shared phase-3 body for chmod/chown: update the root row only."""
+        with link_scope():
+            self._subtree_root_update_linked(path, op, changes)
+
+    def _subtree_root_update_linked(self, path: str, op: str,
+                                    changes: dict) -> None:
         ctx = self._subtree_begin(path, op)
         try:
             self._subtree_quiesce(ctx)

@@ -21,35 +21,44 @@ from repro.metrics.export import (
     summary,
     to_json,
 )
+from repro.metrics.flightrecorder import FlightRecorder
 from repro.metrics.registry import (
     CounterMetric,
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
 )
+from repro.metrics.traceexport import to_chrome, write_chrome
 from repro.metrics.tracing import (
     Span,
     Trace,
+    TraceContext,
     Tracer,
     add_event,
     current_trace,
+    link_scope,
     span,
 )
 
 __all__ = [
     "CounterMetric",
+    "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
     "MetricsRegistry",
     "Span",
     "Trace",
+    "TraceContext",
     "Tracer",
     "add_event",
     "current_trace",
     "from_json",
+    "link_scope",
     "prometheus_text",
     "snapshot",
     "span",
     "summary",
+    "to_chrome",
     "to_json",
+    "write_chrome",
 ]

@@ -1,0 +1,103 @@
+"""Timeline export: traces → Chrome ``trace_event`` / Perfetto JSON.
+
+The output is the JSON Object Format of the Trace Event spec (a
+``traceEvents`` array wrapped in an object), which both ``chrome://tracing``
+and https://ui.perfetto.dev load directly:
+
+* every span becomes a complete (``"ph": "X"``) event with microsecond
+  ``ts``/``dur``;
+* zero-duration trace events (``db.*`` round trips, ``tx_retry``, …)
+  become instants (``"ph": "i"``);
+* each trace is one *process* lane (``pid``), named after the operation
+  and trace id via ``process_name`` metadata, so cross-trace timelines
+  (a flight-recorder dump, a ring export) stay visually separated;
+* spans keep their recording thread: the span's ``tid`` (OS thread
+  ident) is mapped to a small per-trace lane number, and worker-thread
+  spans from the shard executor or the subtree pools show up in their
+  own rows under the same operation.
+
+Accepts live :class:`~repro.metrics.tracing.Trace` objects or their
+``to_dict()`` form, so flight-recorder dump files re-export unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Union
+
+from repro.metrics.tracing import Trace
+
+TraceLike = Union[Trace, dict]
+
+
+def _as_dict(trace: TraceLike) -> dict[str, Any]:
+    return trace.to_dict() if isinstance(trace, Trace) else trace
+
+
+def _span_events(span: dict[str, Any], pid: int, lanes: dict[int, int],
+                 out: list[dict[str, Any]]) -> None:
+    tid = lanes.setdefault(span.get("tid", 0), len(lanes))
+    start = span.get("start", 0.0)
+    end = span.get("end")
+    event: dict[str, Any] = {
+        "name": span.get("name", "?"),
+        "pid": pid,
+        "tid": tid,
+        "ts": round(start * 1e6, 3),
+        "args": dict(span.get("labels", {})),
+    }
+    if end is not None and end == start:
+        event["ph"] = "i"
+        event["s"] = "t"  # instant scoped to its thread lane
+        event["cat"] = "event"
+    else:
+        event["ph"] = "X"
+        event["dur"] = round(((end or start) - start) * 1e6, 3)
+        event["cat"] = "span"
+    out.append(event)
+    for child in span.get("children", ()):
+        _span_events(child, pid, lanes, out)
+
+
+def to_chrome(traces: Iterable[TraceLike],
+              meta: Union[dict[str, Any], None] = None) -> dict[str, Any]:
+    """Build the Chrome trace_event JSON object for ``traces``."""
+    events: list[dict[str, Any]] = []
+    for pid, trace in enumerate(map(_as_dict, traces)):
+        lanes: dict[int, int] = {}
+        _span_events(trace["root"], pid, lanes, events)
+        title = trace.get("op", "?")
+        trace_id = trace.get("trace_id", "?")
+        if trace.get("parent_id"):
+            title += f" ⤷{trace['parent_id']}"
+        if trace.get("error"):
+            title += f" !{trace['error']}"
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": f"{title} [{trace_id}]"}})
+        for os_tid, lane in sorted(lanes.items(), key=lambda kv: kv[1]):
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": lane, "ts": 0,
+                           "args": {"name": f"thread-{os_tid}"}})
+    document: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        document["otherData"] = dict(meta)
+    return document
+
+
+def write_chrome(traces: Iterable[TraceLike], path: str,
+                 meta: Union[dict[str, Any], None] = None) -> str:
+    """Write :func:`to_chrome` output to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(traces, meta), fh)
+    return path
+
+
+def flight_dump_to_chrome(dump: dict[str, Any]) -> dict[str, Any]:
+    """Re-export a flight-recorder dump (its kept traces) as a timeline."""
+    return to_chrome(dump.get("traces", ()),
+                     meta={"recorder": dump.get("recorder", ""),
+                           "reason": dump.get("reason", "")})

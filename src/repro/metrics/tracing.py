@@ -16,22 +16,39 @@ module-level :func:`span` / :func:`add_event` helpers, which attach to
 the trace bound to the current thread (and degrade to no-ops costing one
 thread-local read when tracing is off, sampled out, or the caller runs
 outside an operation). Zero-duration *events* mark points of interest —
-each database round trip (``db.pk``, ``db.batched_pk``, …), transaction
-retries, stale-subtree-lock reclamations.
+each database round trip (``db.pk``, ``db.batched_pk``, …, carrying the
+``shard``/``node_group`` that served it), transaction retries,
+stale-subtree-lock reclamations.
+
+Tracing v2 makes the binding *propagable* across threads: every trace
+carries a process-unique ``trace_id``, the live span stack lives in the
+thread-local binding (not on the :class:`Trace`), and
+:class:`TraceContext` snapshots the binding at executor-submit time so
+shard fan-out, group-commit flushes, and subtree-op worker transactions
+re-bind it on their worker thread and parent correctly under the
+submitting span. Multi-transaction operations (the subtree protocol)
+wrap their phases in :func:`link_scope` so every inner trace records a
+``parent_id`` pointing at the operation's root trace.
 
 The :class:`Tracer` keeps a bounded ring of recent traces plus a
 slow-operation log (traces above ``slow_threshold`` seconds) and, when
 given a registry, folds every finished trace's per-phase durations into
-``hopsfs_phase_seconds`` histograms. ``sample_every=N`` traces every Nth
-operation, bounding overhead on hot paths.
+``hopsfs_phase_seconds{phase,op}`` histograms. ``sample_every=N`` traces
+every Nth call *per operation name* (round-robin within each op, so rare
+ops like ``set_quota`` are not starved by hot ones; 1 = all, 0 = none).
+Unsampled operations still bind the registry, so database-layer counters
+(``ndb_lock_waits_total``, ``ndb_shard_op_seconds``, …) record for every
+operation regardless of sampling.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
-from typing import Callable, Iterator, Optional
+from collections.abc import Sequence
+from typing import Any, Callable, Iterator, Optional
 
 from repro.metrics.registry import MetricsRegistry
 
@@ -39,13 +56,30 @@ from repro.metrics.registry import MetricsRegistry
 #: :meth:`Trace.phases`); ``execute`` contributes *self* time only.
 PHASE_SPANS = ("resolve", "lock", "execute", "commit", "lock_wait")
 
-_ACTIVE = threading.local()  # .trace: Optional[Trace]; .registry
+# Per-thread trace binding:
+#   .trace     — Optional[Trace] currently recording on this thread
+#   .stack     — list[Span] live span stack for this thread's binding
+#   .registry  — Optional[MetricsRegistry] for db-layer metric folds
+#   .link      — Optional[str] root trace id of the logical op group
+#   .link_scopes — int, depth of active link_scope() blocks
+_ACTIVE = threading.local()
+
+_TRACE_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """Process-unique trace id (cheap, monotonic, hex)."""
+    return f"{next(_TRACE_IDS):08x}"
 
 
 class Span:
-    """One timed region; forms a tree via ``children``."""
+    """One timed region; forms a tree via ``children``.
 
-    __slots__ = ("name", "labels", "start", "end", "children")
+    ``tid`` records the OS thread that produced the span, so timeline
+    exporters can lay cross-thread traces out in per-thread lanes.
+    """
+
+    __slots__ = ("name", "labels", "start", "end", "children", "tid")
 
     def __init__(self, name: str, start: float,
                  labels: Optional[dict[str, str]] = None) -> None:
@@ -54,6 +88,7 @@ class Span:
         self.start = start
         self.end: Optional[float] = None
         self.children: list["Span"] = []
+        self.tid = threading.get_ident()
 
     @property
     def duration(self) -> float:
@@ -81,21 +116,38 @@ class Span:
         lines += [child.render(indent + 1) for child in self.children]
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (flight-recorder dumps, timeline export)."""
+        data: dict[str, Any] = {"name": self.name, "start": self.start,
+                                "end": self.end, "tid": self.tid}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, " \
                f"children={len(self.children)})"
 
 
 class Trace:
-    """One operation's span tree. ``root.name`` is the operation name."""
+    """One operation's span tree. ``root.name`` is the operation name.
 
-    __slots__ = ("root", "_stack", "error")
+    ``trace_id`` is process-unique; ``parent_id`` is set when the trace
+    ran inside a :func:`link_scope` group (subtree-op inner transactions
+    point at the trace of the phase that opened the scope).
+    """
+
+    __slots__ = ("root", "error", "trace_id", "parent_id")
 
     def __init__(self, op: str, start: float,
-                 labels: Optional[dict[str, str]] = None) -> None:
+                 labels: Optional[dict[str, str]] = None,
+                 parent_id: Optional[str] = None) -> None:
         self.root = Span(op, start, labels)
-        self._stack: list[Span] = [self.root]
         self.error: Optional[str] = None
+        self.trace_id = new_trace_id()
+        self.parent_id = parent_id
 
     @property
     def op(self) -> str:
@@ -116,9 +168,10 @@ class Trace:
     def phases(self) -> dict[str, float]:
         """Total seconds per Figure-4 phase.
 
-        ``resolve``/``lock``/``commit``/``lock_wait`` sum span durations;
-        ``execute`` sums *self* time so nested resolve/lock/commit spans
-        are not double counted. Phases with no spans are omitted.
+        ``resolve``/``lock``/``commit``/``lock_wait`` sum span durations
+        across *all* attempts; ``execute`` sums *self* time so nested
+        resolve/lock/commit spans are not double counted. Phases with no
+        spans are omitted.
         """
         totals: dict[str, float] = {}
         for span in self.root.walk():
@@ -132,6 +185,12 @@ class Trace:
     def render(self) -> str:
         status = f" error={self.error}" if self.error else ""
         return self.root.render() + status
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (flight-recorder dumps, timeline export)."""
+        return {"trace_id": self.trace_id, "parent_id": self.parent_id,
+                "op": self.op, "duration": self.duration,
+                "error": self.error, "root": self.root.to_dict()}
 
 
 class _NullContext:
@@ -157,11 +216,112 @@ def current_registry() -> Optional[MetricsRegistry]:
     return getattr(_ACTIVE, "registry", None)
 
 
-class _SpanContext:
-    __slots__ = ("_trace", "_span")
+def current_link() -> Optional[str]:
+    """Trace id of the logical operation group bound to this thread."""
+    return getattr(_ACTIVE, "link", None)
 
-    def __init__(self, trace: Trace, span: Span) -> None:
-        self._trace = trace
+
+class TraceContext:
+    """A propagable snapshot of the calling thread's trace binding.
+
+    Capture it on the submitting thread, then re-bind on a worker so
+    spans/events produced there attach under the submitting span::
+
+        ctx = TraceContext.capture()
+        executor.submit(ctx.wrap(task))
+
+    Each :meth:`bind` installs a *fresh* span stack seeded with the
+    captured parent span, so concurrent workers never share a stack;
+    child-list appends from multiple threads are GIL-atomic.
+    """
+
+    __slots__ = ("trace", "parent", "registry", "link")
+
+    def __init__(self, trace: Optional[Trace], parent: Optional[Span],
+                 registry: Optional[MetricsRegistry],
+                 link: Optional[str]) -> None:
+        self.trace = trace
+        self.parent = parent
+        self.registry = registry
+        self.link = link
+
+    @classmethod
+    def capture(cls) -> "TraceContext":
+        trace = getattr(_ACTIVE, "trace", None)
+        stack = getattr(_ACTIVE, "stack", None)
+        parent = stack[-1] if (trace is not None and stack) else None
+        return cls(trace, parent, getattr(_ACTIVE, "registry", None),
+                   getattr(_ACTIVE, "link", None))
+
+    def bind(self) -> "_ContextBinding":
+        """Context manager installing this snapshot on the current thread."""
+        return _ContextBinding(self)
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Return ``fn`` bound to this context (identity when empty)."""
+        if self.trace is None and self.registry is None and self.link is None:
+            return fn
+
+        def bound(*args: Any, **kwargs: Any) -> Any:
+            with _ContextBinding(self):
+                return fn(*args, **kwargs)
+
+        return bound
+
+
+class _ContextBinding:
+    __slots__ = ("_ctx", "_prev")
+
+    def __init__(self, ctx: TraceContext) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        self._prev = (getattr(_ACTIVE, "trace", None),
+                      getattr(_ACTIVE, "stack", None),
+                      getattr(_ACTIVE, "registry", None),
+                      getattr(_ACTIVE, "link", None))
+        ctx = self._ctx
+        _ACTIVE.trace = ctx.trace
+        _ACTIVE.stack = [ctx.parent] if ctx.parent is not None else None
+        _ACTIVE.registry = ctx.registry
+        _ACTIVE.link = ctx.link
+        return ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        (_ACTIVE.trace, _ACTIVE.stack,
+         _ACTIVE.registry, _ACTIVE.link) = self._prev
+        return False
+
+
+class link_scope:
+    """Group every trace started inside under one logical operation.
+
+    The first sampled trace in the scope pins the thread's *link* to its
+    ``trace_id``; subsequent traces (on this thread, or on workers that
+    re-bind a captured :class:`TraceContext`) record ``parent_id``
+    pointing at it and are always sampled, so multi-transaction
+    operations — the subtree protocol's lock/quiesce/delete-batch
+    phases — stay attributable to one root trace.
+    """
+
+    __slots__ = ("_prev_link",)
+
+    def __enter__(self) -> "link_scope":
+        self._prev_link = getattr(_ACTIVE, "link", None)
+        _ACTIVE.link_scopes = getattr(_ACTIVE, "link_scopes", 0) + 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.link_scopes -= 1
+        _ACTIVE.link = self._prev_link
+        return False
+
+
+class _SpanContext:
+    __slots__ = ("_stack", "_span")
+
+    def __init__(self, stack: list[Span], span: Span) -> None:
+        self._stack = stack
         self._span = span
 
     def __enter__(self) -> Span:
@@ -170,68 +330,96 @@ class _SpanContext:
     def __exit__(self, exc_type, exc, tb) -> bool:
         span = self._span
         span.end = time.perf_counter()
-        stack = self._trace._stack
-        # pop up to (and including) our span; robust to unbalanced exits
-        while stack and stack.pop() is not span:
-            pass
-        if not stack:
-            stack.append(self._trace.root)
+        stack = self._stack
+        try:
+            index = stack.index(span)
+        except ValueError:  # already popped by an unbalanced outer exit
+            return False
+        del stack[index:]
         return False
 
 
 def span(name: str, **labels: object):
     """Open a child span of the current trace (no-op when untraced)."""
-    trace = getattr(_ACTIVE, "trace", None)
-    if trace is None:
+    if getattr(_ACTIVE, "trace", None) is None:
         return _NULL
-    parent = trace._stack[-1]
+    stack: list[Span] = _ACTIVE.stack
     child = Span(name, time.perf_counter(),
                  {k: str(v) for k, v in labels.items()} if labels else None)
-    parent.children.append(child)
-    trace._stack.append(child)
-    return _SpanContext(trace, child)
+    stack[-1].children.append(child)
+    stack.append(child)
+    return _SpanContext(stack, child)
 
 
 def add_event(name: str, **labels: object) -> None:
     """Record a zero-duration marker on the current trace (or nothing)."""
-    trace = getattr(_ACTIVE, "trace", None)
-    if trace is None:
+    if getattr(_ACTIVE, "trace", None) is None:
         return
     now = time.perf_counter()
     event = Span(name, now,
                  {k: str(v) for k, v in labels.items()} if labels else None)
     event.end = now
-    trace._stack[-1].children.append(event)
+    _ACTIVE.stack[-1].children.append(event)
 
 
-def record_access(kind_value: str, table: str) -> None:
-    """Mark one database round trip (called by ``AccessStats.record``)."""
-    trace = getattr(_ACTIVE, "trace", None)
-    if trace is None:
+def _set_label(values: Sequence[int]) -> str:
+    """Collapse a partition/node-group set into one label value."""
+    if not values:
+        return "-"
+    unique = set(values)
+    if len(unique) == 1:
+        return str(next(iter(unique)))
+    return "multi"
+
+
+def record_access(kind_value: str, table: str,
+                  partitions: Sequence[int] = (),
+                  node_groups: Sequence[int] = ()) -> None:
+    """Mark one database round trip (called by ``AccessStats.record``).
+
+    The event carries the serving ``shard`` (partition id, ``multi`` for
+    fan-out, ``-`` when unknown) and ``node_group`` so traces attribute
+    each round trip to the backend component that served it.
+    """
+    if getattr(_ACTIVE, "trace", None) is None:
         return
     now = time.perf_counter()
-    event = Span(f"db.{kind_value}", now, {"table": table})
+    labels = {"table": table, "shard": _set_label(partitions)}
+    if node_groups:
+        labels["node_group"] = _set_label(node_groups)
+    event = Span(f"db.{kind_value}", now, labels)
     event.end = now
-    trace._stack[-1].children.append(event)
+    _ACTIVE.stack[-1].children.append(event)
 
 
 class _TraceContext:
-    __slots__ = ("_tracer", "_trace", "_prev_trace", "_prev_registry")
+    __slots__ = ("_tracer", "_trace", "_prev")
 
     def __init__(self, tracer: "Tracer", trace: Trace) -> None:
         self._tracer = tracer
         self._trace = trace
 
     def __enter__(self) -> Trace:
-        self._prev_trace = getattr(_ACTIVE, "trace", None)
-        self._prev_registry = getattr(_ACTIVE, "registry", None)
+        self._prev = (getattr(_ACTIVE, "trace", None),
+                      getattr(_ACTIVE, "stack", None),
+                      getattr(_ACTIVE, "registry", None),
+                      getattr(_ACTIVE, "link", None))
         _ACTIVE.trace = self._trace
+        _ACTIVE.stack = [self._trace.root]
         _ACTIVE.registry = self._tracer.registry
+        if getattr(_ACTIVE, "link", None) is None:
+            _ACTIVE.link = self._trace.trace_id
         return self._trace
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        _ACTIVE.trace = self._prev_trace
-        _ACTIVE.registry = self._prev_registry
+        prev_trace, prev_stack, prev_registry, prev_link = self._prev
+        _ACTIVE.trace = prev_trace
+        _ACTIVE.stack = prev_stack
+        _ACTIVE.registry = prev_registry
+        if getattr(_ACTIVE, "link_scopes", 0) == 0:
+            _ACTIVE.link = prev_link
+        # else: an enclosing link_scope keeps the link pinned so sibling
+        # traces of this operation group parent under the same root.
         trace = self._trace
         trace.root.end = time.perf_counter()
         if exc_type is not None:
@@ -240,16 +428,44 @@ class _TraceContext:
         return False
 
 
+class _RegistryContext:
+    """Registry-only binding for unsampled operations.
+
+    Database-layer instrumentation reaches the registry through
+    :func:`current_registry`; binding it even when the trace is sampled
+    out keeps counters like ``ndb_lock_waits_total`` complete.
+    """
+
+    __slots__ = ("_registry", "_prev")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    def __enter__(self) -> None:
+        self._prev = getattr(_ACTIVE, "registry", None)
+        _ACTIVE.registry = self._registry
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.registry = self._prev
+        return False
+
+
 class Tracer:
     """Per-namenode trace collector.
 
-    * ``sample_every=N``: trace every Nth operation (1 = all, 0 = none);
+    * ``sample_every=N``: trace every Nth call *of each operation name*
+      (per-op round-robin: the first call of every op is always sampled,
+      so rare ops are never starved by hot ones; 1 = all, 0 = none).
+      Traces started inside an active :func:`link_scope` group are always
+      sampled so operation groups stay complete. Unsampled calls still
+      bind the metrics registry (see :class:`_RegistryContext`).
     * ``ring_size``: completed traces kept for inspection (FIFO);
     * ``slow_threshold``: seconds above which a trace also lands in the
       slow-operation log (kept separately so bursts of fast traces cannot
       evict the interesting ones);
     * ``registry``: when set, per-phase durations of every finished trace
-      are folded into ``hopsfs_phase_seconds{phase=...}`` histograms and
+      are folded into ``hopsfs_phase_seconds{phase,op}`` histograms and
       slow ops counted as ``hopsfs_slow_ops_total{op=...}``.
     """
 
@@ -267,7 +483,7 @@ class Tracer:
         self.on_finish = on_finish
         self._ring: deque[Trace] = deque(maxlen=ring_size)
         self._slow: deque[Trace] = deque(maxlen=slow_log_size)
-        self._seq = 0
+        self._op_seq: dict[str, int] = {}
         self._lock = threading.Lock()
         self.traces_started = 0
         self.traces_dropped = 0  # unsampled operations
@@ -276,20 +492,27 @@ class Tracer:
 
     def trace(self, op: str, **labels: object):
         """Start a trace for one operation (or a no-op if sampled out)."""
-        if self.sample_every == 0:
-            return _NULL
+        link = getattr(_ACTIVE, "link", None)
+        if self.sample_every == 0 and link is None:
+            return (_RegistryContext(self.registry)
+                    if self.registry is not None else _NULL)
         with self._lock:
-            sampled = (self._seq % self.sample_every) == 0
-            self._seq += 1
+            seq = self._op_seq.get(op, 0)
+            self._op_seq[op] = seq + 1
+            sampled = (link is not None
+                       or (self.sample_every > 0
+                           and seq % self.sample_every == 0))
             if sampled:
                 self.traces_started += 1
             else:
                 self.traces_dropped += 1
         if not sampled:
-            return _NULL
+            return (_RegistryContext(self.registry)
+                    if self.registry is not None else _NULL)
         trace = Trace(
             op, time.perf_counter(),
-            {k: str(v) for k, v in labels.items()} if labels else None)
+            {k: str(v) for k, v in labels.items()} if labels else None,
+            parent_id=link)
         return _TraceContext(self, trace)
 
     def _finish(self, trace: Trace) -> None:
@@ -301,7 +524,7 @@ class Tracer:
         if self.registry is not None:
             for phase, seconds in trace.phases().items():
                 self.registry.observe("hopsfs_phase_seconds", seconds,
-                                      phase=phase)
+                                      phase=phase, op=trace.op)
             if slow:
                 self.registry.inc("hopsfs_slow_ops_total", op=trace.op)
         if self.on_finish is not None:
@@ -317,3 +540,12 @@ class Tracer:
     def slow_ops(self) -> list[Trace]:
         with self._lock:
             return list(self._slow)
+
+    def find(self, trace_id: str) -> Optional[Trace]:
+        """Look a trace up by id in the ring and slow log (newest first)."""
+        with self._lock:
+            candidates = list(self._ring) + list(self._slow)
+        for trace in reversed(candidates):
+            if trace.trace_id == trace_id:
+                return trace
+        return None

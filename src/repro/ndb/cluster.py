@@ -40,7 +40,7 @@ from repro.errors import (
     SchemaError,
     TransactionAbortedError,
 )
-from repro.metrics.tracing import current_registry
+from repro.metrics.tracing import TraceContext, current_registry, span
 from repro.ndb.config import NDBConfig
 from repro.ndb.datanode import CommitRecord, GroupCommitLog, NDBDatanode, WriteRecord
 from repro.ndb.fragment import Fragment
@@ -70,6 +70,7 @@ class NDBCluster:
             timeout=self.config.lock_timeout,
             deadlock_detection=self.config.deadlock_detection,
             stripes=self.config.lock_stripes,
+            shard_of=self._lock_key_shard,
         )
         #: current primary node per partition (same for all tables)
         # guarded_by: _structure_gate [writes]
@@ -130,6 +131,17 @@ class NDBCluster:
     def partition_for_values(self, table: str, values: Mapping[str, Any]) -> int:
         schema = self.schema(table)
         return self._pmap.partition_of(schema.partition_values(values))
+
+    def _lock_key_shard(self, key: Any) -> Optional[int]:
+        """Partition id for a row-lock key (shard attribution; best effort)."""
+        try:
+            table, pk = key
+            return self.partition_of(table, pk)
+        except Exception:  # noqa: BLE001 - non-(table, pk) keys have no shard
+            return None
+
+    def node_group_of(self, pid: int) -> int:
+        return self._pmap.node_group_of(pid)
 
     def _primary_node(self, pid: int) -> int:
         node_id = self._primaries[pid]
@@ -232,7 +244,11 @@ class NDBCluster:
                          path="parallel" if parallel else "inline")
         if not parallel:
             return [task() for task in tasks]
-        futures = [self._shard_executor().submit(task) for task in tasks]
+        # propagate the submitter's trace binding onto the worker threads
+        # so shard spans/events parent under the submitting span
+        ctx = TraceContext.capture()
+        futures = [self._shard_executor().submit(ctx.wrap(task))
+                   for task in tasks]
         results: list[T] = []
         first_exc: Optional[BaseException] = None
         for future in futures:
@@ -365,23 +381,42 @@ class NDBCluster:
                             (pending, before, write_record))
 
                 def participant(node_id: int, batch) -> Callable[[], None]:
+                    group = self._pmap.node_group_of(
+                        batch[0][2].partition_id) if batch else 0
+                    shards = sorted({wrec.partition_id
+                                     for _p, _b, wrec in batch})
+
                     def apply_batch() -> None:
-                        self._round_trip()  # one commit round per participant
-                        node = self.datanodes[node_id]
-                        for pending, before, wrec in batch:
-                            frag = node.fragment(wrec.table, wrec.partition_id)
-                            if pending.op == "delete":
-                                frag.apply_delete(wrec.pk)
-                            elif before is None:
-                                # a delete+insert on the same pk inside one tx
-                                # nets out to an update of the committed row,
-                                # so pick the physical operation from the
-                                # before-image
-                                frag.apply_insert(pending.row)
-                            else:
-                                frag.apply_update(wrec.pk, pending.row)
-                            node.redo_log.append(
-                                (record.tx_id, record.epoch, wrec))
+                        started = time.perf_counter()
+                        with span("commit.participant", node=node_id,
+                                  node_group=group,
+                                  shard=(shards[0] if len(shards) == 1
+                                         else "multi")):
+                            self._round_trip()  # one commit round per participant
+                            node = self.datanodes[node_id]
+                            for pending, before, wrec in batch:
+                                frag = node.fragment(wrec.table,
+                                                     wrec.partition_id)
+                                if pending.op == "delete":
+                                    frag.apply_delete(wrec.pk)
+                                elif before is None:
+                                    # a delete+insert on the same pk inside one
+                                    # tx nets out to an update of the committed
+                                    # row, so pick the physical operation from
+                                    # the before-image
+                                    frag.apply_insert(pending.row)
+                                else:
+                                    frag.apply_update(wrec.pk, pending.row)
+                                node.redo_log.append(
+                                    (record.tx_id, record.epoch, wrec))
+                        participant_registry = current_registry()
+                        if participant_registry is not None:
+                            participant_registry.observe(
+                                "ndb_shard_op_seconds",
+                                time.perf_counter() - started,
+                                shard=(shards[0] if len(shards) == 1
+                                       else "multi"),
+                                kind="commit")
                     return apply_batch
 
                 self._run_on_shards([participant(node_id, batch) for
@@ -398,17 +433,20 @@ class NDBCluster:
             from repro.ndb.stats import AccessEvent, AccessKind
 
             nodes = tuple(sorted({self._primaries[pid] for pid in write_pids}))
+            groups = tuple(sorted({self._pmap.node_group_of(pid)
+                                   for pid in write_pids}))
             tx.stats.record(
                 AccessEvent(kind=AccessKind.BATCH_PK, table="*",
                             partitions=tuple(write_pids), nodes=nodes,
                             coordinator=tx.coordinator, rows=rows_written,
-                            locked=False, write=True)
+                            locked=False, write=True, node_groups=groups)
             )
             tx.stats.record(
-                AccessEvent(kind=AccessKind.COMMIT, table="*", partitions=(),
+                AccessEvent(kind=AccessKind.COMMIT, table="*",
+                            partitions=tuple(sorted(set(write_pids))),
                             nodes=tuple(sorted(tx._participants)),
                             coordinator=tx.coordinator, rows=0, locked=False,
-                            write=False)
+                            write=False, node_groups=groups)
             )
 
     # -- failures ----------------------------------------------------------------------

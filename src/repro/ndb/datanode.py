@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.metrics.tracing import span
 from repro.ndb.fragment import Fragment
 from repro.ndb.schema import TableSchema
 
@@ -93,8 +94,11 @@ class GroupCommitLog:
             batch = self._staged
             self._staged = []
             self._flushing = True
-        if self.flush_delay:
-            time.sleep(self.flush_delay)  # the simulated log-device flush
+        # the flush leader's trace charges the whole batch's flush; the
+        # batch size label shows how many followers rode along
+        with span("log_flush", batch=len(batch)):
+            if self.flush_delay:
+                time.sleep(self.flush_delay)  # the simulated log-device flush
         with self._cond:
             self.records.extend(rec for _seq, rec in batch)
             self._flushed_seq = max(self._flushed_seq,

@@ -38,7 +38,7 @@ import enum
 import threading
 import time
 from collections import deque
-from typing import Any, Hashable, Iterable, Optional
+from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
 from repro.metrics.tracing import current_registry
@@ -104,9 +104,13 @@ class LockManager:
     _witness = None
 
     def __init__(self, timeout: float = 1.2, deadlock_detection: bool = True,
-                 stripes: int = 16) -> None:
+                 stripes: int = 16,
+                 shard_of: Optional[Callable[[Any], Optional[int]]] = None) -> None:
         self._timeout = timeout
         self._deadlock_detection = deadlock_detection
+        #: optional (table, pk) -> partition id resolver, so lock_wait
+        #: spans and ndb_shard_op_seconds carry the shard being waited on
+        self._shard_of = shard_of
         self._stripes = [_Stripe(i) for i in range(max(1, stripes))]
         #: which stripes each owner holds keys in (inner lock order is
         #: stripe -> owner_mutex; release_all reads it before any stripe)
@@ -191,9 +195,11 @@ class LockManager:
             deadline = time.monotonic() + (timeout if timeout is not None
                                            else self._timeout)
             table = key[0] if isinstance(key, tuple) and key else "?"
+            shard = self._shard_of(key) if self._shard_of is not None else None
             started = time.monotonic()
             try:
-                with trace_span("lock_wait", mode=mode.value, table=table):
+                with trace_span("lock_wait", mode=mode.value, table=table,
+                                shard="-" if shard is None else shard):
                     self._wait(stripe, row, key, request, owner, deadline)
             finally:
                 self._wait_edges.pop(owner, None)
@@ -205,6 +211,9 @@ class LockManager:
                     registry.inc("ndb_lock_waits_total")
                     registry.inc("ndb_lock_stripe_waits_total",
                                  stripe=stripe.index)
+                    if shard is not None:
+                        registry.observe("ndb_shard_op_seconds", waited,
+                                         shard=shard, kind="lock_wait")
                 if not request.granted:
                     try:
                         row.queue.remove(request)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.errors import (
@@ -29,7 +30,7 @@ from repro.errors import (
     SchemaError,
     TransactionAbortedError,
 )
-from repro.metrics.tracing import span
+from repro.metrics.tracing import current_registry, span
 from repro.ndb.locks import LockMode
 from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
 
@@ -91,7 +92,10 @@ class Transaction:
         # placement changes; rebuilding it per event was a per-round-trip
         # cost on the hottest stats path
         primary_table = self._cluster.primary_table()
-        nodes = tuple(sorted({primary_table[pid] for pid in set(partitions)}))
+        pid_set = set(partitions)
+        nodes = tuple(sorted({primary_table[pid] for pid in pid_set}))
+        groups = tuple(sorted({self._cluster.node_group_of(pid)
+                               for pid in pid_set}))
         self.stats.record(
             AccessEvent(
                 kind=kind,
@@ -102,8 +106,17 @@ class Transaction:
                 rows=rows,
                 locked=locked,
                 write=write,
+                node_groups=groups,
             )
         )
+
+    def _observe_shard(self, kind: str, shard: Any, started: float) -> None:
+        """Fold one shard-local round trip into ndb_shard_op_seconds."""
+        registry = current_registry()
+        if registry is not None:
+            registry.observe("ndb_shard_op_seconds",
+                             time.perf_counter() - started,
+                             shard=shard, kind=kind)
 
     # -- reads -------------------------------------------------------------------
 
@@ -116,8 +129,10 @@ class Transaction:
         pid = self._cluster.partition_of(table, pk)
         self._lock(table, pk, lock)
         self._check_active()
+        started = time.perf_counter()
         self._cluster._round_trip()
         row = self._committed_or_buffered(table, pid, pk)
+        self._observe_shard(AccessKind.PK.value, pid, started)
         self._record(AccessKind.PK, table, [pid], rows=1 if row else 0,
                      locked=lock is not LockMode.READ_COMMITTED)
         return row
@@ -152,9 +167,13 @@ class Transaction:
 
         def shard_fetch(pid: int, indexes: list[int]):
             def fetch() -> None:
-                self._cluster._round_trip()
-                for i in indexes:
-                    rows[i] = self._committed_or_buffered(table, pid, pks[i])
+                started = time.perf_counter()
+                with span("shard_fetch", shard=pid, table=table):
+                    self._cluster._round_trip()
+                    for i in indexes:
+                        rows[i] = self._committed_or_buffered(table, pid,
+                                                              pks[i])
+                self._observe_shard(AccessKind.BATCH_PK.value, pid, started)
             return fetch
 
         self._cluster._run_on_shards(
@@ -186,8 +205,10 @@ class Transaction:
                 return False
             return predicate is None or predicate(row)
 
+        started = time.perf_counter()
         self._cluster._round_trip()
         rows = self._scan_partition(table, pid, matches, lock)
+        self._observe_shard(AccessKind.PPIS.value, pid, started)
         self._record(AccessKind.PPIS, table, [pid], rows=len(rows),
                      locked=lock is not LockMode.READ_COMMITTED)
         return self._project(rows, columns)
@@ -212,7 +233,8 @@ class Transaction:
 
         all_pids = range(self._cluster.config.num_partitions)
         rows = self._scan_shards(table, all_pids, matches, lock,
-                                 index=(index_name, key))
+                                 index=(index_name, key),
+                                 kind=AccessKind.INDEX_SCAN.value)
         self._record(AccessKind.INDEX_SCAN, table, list(all_pids), rows=len(rows),
                      locked=lock is not LockMode.READ_COMMITTED)
         return rows
@@ -223,7 +245,8 @@ class Transaction:
         all_pids = range(self._cluster.config.num_partitions)
         rows = self._scan_shards(table, all_pids,
                                  predicate if predicate else lambda _row: True,
-                                 LockMode.READ_COMMITTED)
+                                 LockMode.READ_COMMITTED,
+                                 kind=AccessKind.FULL_SCAN.value)
         self._record(AccessKind.FULL_SCAN, table, list(all_pids), rows=len(rows),
                      locked=False)
         return rows
@@ -232,6 +255,7 @@ class Transaction:
                      predicate: Callable[[Mapping[str, Any]], bool],
                      lock: LockMode,
                      index: Optional[tuple[str, tuple[Any, ...]]] = None,
+                     kind: str = AccessKind.INDEX_SCAN.value,
                      ) -> list[dict[str, Any]]:
         """Visit every shard of an all-shard scan, in parallel when unlocked.
 
@@ -244,14 +268,18 @@ class Transaction:
 
         def shard_visit(pid: int):
             def visit() -> list[dict[str, Any]]:
-                self._cluster._round_trip()
-                return self._scan_partition(table, pid, predicate, lock,
-                                            index=index)
+                started = time.perf_counter()
+                with span("shard_scan", shard=pid, table=table):
+                    self._cluster._round_trip()
+                    result = self._scan_partition(table, pid, predicate, lock,
+                                                  index=index)
+                self._observe_shard(kind, pid, started)
+                return result
             return visit
 
         if lock is not LockMode.READ_COMMITTED:
             return self._locked_shard_scan(table, pids, predicate, lock,
-                                           index=index)
+                                           index=index, kind=kind)
         chunks = self._cluster._run_on_shards(
             [shard_visit(pid) for pid in pids])
         return [row for chunk in chunks for row in chunk]
@@ -260,11 +288,13 @@ class Transaction:
                            predicate: Callable[[Mapping[str, Any]], bool],
                            lock: LockMode,
                            index: Optional[tuple[str, tuple[Any, ...]]] = None,
+                           kind: str = AccessKind.INDEX_SCAN.value,
                            ) -> list[dict[str, Any]]:
         """Locking all-shard scan: gather unlocked, then lock in pk order."""
         schema = self._cluster.schema(table)
         candidates: list[dict[str, Any]] = []
         for pid in pids:
+            started = time.perf_counter()
             self._cluster._round_trip()
             frag = self._cluster._primary_fragment(table, pid)
             if index is not None:
@@ -273,6 +303,7 @@ class Transaction:
                                                     predicate))
             else:
                 candidates.extend(frag.scan(predicate))
+            self._observe_shard(kind, pid, started)
         locked_rows = []
         # pk order keeps concurrent locking scans deadlock-free (§3.4)
         for row in sorted(candidates, key=schema.pk_of):

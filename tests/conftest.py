@@ -43,6 +43,30 @@ def _lock_witness_pause(request):
         yield
 
 
+def _flight_dump_dir(config) -> str:
+    return os.environ.get(
+        "REPRO_FLIGHT_DIR",
+        os.path.join(str(config.rootpath), ".flight-dumps"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Dump every flight recorder when a test's call phase fails."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    try:
+        from repro.metrics.flightrecorder import dump_all
+        paths = dump_all(_flight_dump_dir(item.config),
+                         reason=f"test_failure:{item.nodeid}")
+        if paths:
+            report.sections.append(
+                ("flight recorder", "\n".join(paths)))
+    except Exception:  # noqa: BLE001 - never break test reporting
+        pass
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not WITNESS_ENABLED:
         return
@@ -54,6 +78,12 @@ def pytest_sessionfinish(session, exitstatus):
     session.config._lock_witness_report = report
     if not report.ok and session.exitstatus == 0:
         session.exitstatus = 1
+        try:
+            from repro.metrics.flightrecorder import dump_all
+            dump_all(_flight_dump_dir(session.config),
+                     reason="lock_witness_finding")
+        except Exception:  # noqa: BLE001 - reporting must not break
+            pass
 
 
 def pytest_terminal_summary(terminalreporter):

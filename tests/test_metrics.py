@@ -194,7 +194,10 @@ def test_tracer_slow_log_and_registry_fold():
             pass
     assert [t.op for t in tracer.slow_ops()] == ["mkdir"]
     assert reg.get_counter("hopsfs_slow_ops_total", op="mkdir") == 1
-    assert reg.get_histogram("hopsfs_phase_seconds", phase="execute") is not None
+    hist = reg.get_histogram("hopsfs_phase_seconds", phase="execute", op="mkdir")
+    assert hist is not None
+    # the new op label means no un-labelled series exists any more
+    assert reg.get_histogram("hopsfs_phase_seconds", phase="execute") is None
 
 
 def test_span_is_noop_outside_a_trace():
