@@ -1,0 +1,60 @@
+"""``python -m repro`` — top-level entry point.
+
+Subcommands:
+
+* ``serve`` — run an ndb-server process serving the DAL over TCP
+  (:mod:`repro.rpc.server`); prints a ``READY`` handshake line with the
+  bound port, shuts down gracefully on SIGTERM/SIGINT;
+* ``merge-metrics`` — merge per-process metrics snapshot files (as
+  written by ``serve --metrics-json``) into one cluster-wide snapshot;
+* anything else — the interactive HopsFS shell (:mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+
+def _merge_metrics(argv: list[str]) -> int:
+    import argparse
+
+    from repro.metrics import export
+
+    parser = argparse.ArgumentParser(
+        prog="repro merge-metrics",
+        description="Merge per-process metrics snapshots into one.")
+    parser.add_argument("snapshots", nargs="+", metavar="SNAPSHOT.json")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write merged snapshot here (default: stdout)")
+    args = parser.parse_args(argv)
+    parsed = []
+    for path in args.snapshots:
+        with open(path, encoding="utf-8") as fh:
+            parsed.append(export.from_json(fh.read()))
+    merged = export.merge_snapshots(parsed)
+    text = json.dumps(merged, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.rpc.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "merge-metrics":
+        return _merge_metrics(argv[1:])
+    from repro.cli import main as cli_main
+
+    return cli_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

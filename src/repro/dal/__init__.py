@@ -4,18 +4,22 @@ HopsFS namenodes never talk to a database directly: every access goes
 through a DAL driver (paper §3, "similar to JDBC"), which makes the
 storage engine pluggable (§8 mentions MemSQL and SAP Hana as candidates).
 
-Two drivers ship with this reproduction:
+Three drivers ship with this reproduction:
 
 * :class:`NDBDriver` — the real thing, backed by :mod:`repro.ndb`;
 * :class:`MemoryDriver` — a trivial single-node engine with the same
   transactional interface, used to prove pluggability and as an ablation
   baseline (every table lives on one "shard", so nothing is distribution
-  aware).
+  aware);
+* :class:`RemoteDriver` — the process-based deployment: the same
+  contract spoken over a socket to an ``ndb-server`` process
+  (:mod:`repro.rpc`), so the database runs outside the client's GIL.
 """
 
 from repro.dal.driver import DALDriver, DALSession, DALTransaction
 from repro.dal.memory_driver import MemoryDriver
 from repro.dal.ndb_driver import NDBDriver
+from repro.dal.remote_driver import RemoteDriver, RemoteSession, RemoteTransaction
 
 __all__ = [
     "DALDriver",
@@ -23,4 +27,7 @@ __all__ = [
     "DALTransaction",
     "MemoryDriver",
     "NDBDriver",
+    "RemoteDriver",
+    "RemoteSession",
+    "RemoteTransaction",
 ]

@@ -1,0 +1,549 @@
+"""DAL driver that talks to an ndb-server process over the RPC protocol.
+
+:class:`RemoteDriver` is the client half of the process-based deployment:
+it implements the same :class:`repro.dal.driver.DALDriver` interface as
+the embedded drivers, so namenode code cannot tell whether the engine
+lives in-process or behind a socket. What changes under the hood:
+
+* **connection pooling** — driver-level calls borrow a pooled connection
+  per call; each transaction *pins* one connection for its lifetime
+  (server-side transaction state is per-connection, and connection death
+  is how abandoned transactions get aborted);
+* **request timeouts** — every RPC has a socket-level deadline; a timed
+  out connection is poisoned and never reused (a late response would
+  desync request/response matching);
+* **bounded reconnect with backoff** — dialing retries with exponential
+  backoff (a supervisor may be respawning the server), and idempotent
+  driver-level reads retry transparently across a reconnect;
+* **failure mapping** — engine errors re-raise as their original classes
+  (the wire carries the type name). Losing the connection *mid
+  transaction* maps to :class:`TransactionAbortedError`, because the
+  server aborts every transaction of a dead connection — so the standard
+  whole-transaction retry loop is exactly as safe as embedded. Losing
+  the connection *while a commit is in flight* maps to
+  :class:`CommitAmbiguousError` and is never transparently retried: the
+  commit may have applied;
+* **pipelined writes** (opt-in ``pipeline_writes=True``) — buffered-write
+  RPCs (insert/update/write/delete) are fired without waiting for their
+  replies; errors surface at the next read/commit. This trades the
+  embedded contract of *immediate* ``DuplicateKeyError``/``NoSuchRowError``
+  for one round trip per transaction instead of one per write, so it is
+  off by default;
+* **client-side predicates** — predicate callables cannot cross the
+  wire; scans fetch matching rows by index/partition server-side and
+  apply the Python predicate locally (projection then happens after the
+  predicate, preserving embedded semantics).
+
+Access statistics stay exact: every transaction RPC response carries the
+scalar counter deltas and new :class:`AccessEvent` records produced
+server-side, and the client folds them into ``tx.stats`` — access-path
+verification and the performance model see embedded-identical numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping, Optional, Sequence, TypeVar
+
+from repro.dal.driver import DALDriver
+from repro.errors import (
+    CommitAmbiguousError,
+    ConnectionClosedError,
+    DeadlockError,
+    LockTimeoutError,
+    RequestTimeoutError,
+    TransactionAbortedError,
+)
+from repro.metrics.tracing import add_event, current_registry, span
+from repro.ndb.locks import LockMode
+from repro.ndb.schema import TableSchema
+from repro.ndb.stats import AccessStats
+from repro.ndb.transaction import Predicate, TxState
+from repro.rpc import protocol
+from repro.rpc.conn import ClientConn, dial
+
+T = TypeVar("T")
+
+_CONN_ERRORS = (ConnectionClosedError, RequestTimeoutError)
+
+
+class RemoteTransaction:
+    """Client-side twin of one server-side transaction.
+
+    Satisfies :class:`repro.dal.driver.DALTransaction` structurally. Not
+    thread safe; owned by one caller thread, like the native
+    :class:`repro.ndb.transaction.Transaction`.
+    """
+
+    def __init__(self, driver: "RemoteDriver", conn: ClientConn,
+                 handle: int, coordinator: int,
+                 pipeline_writes: bool) -> None:
+        self._driver = driver
+        self._conn = conn
+        self._handle = handle
+        self.coordinator = coordinator
+        self.state = TxState.ACTIVE
+        self.stats = AccessStats()
+        self._pipeline = pipeline_writes
+        conn.on_pipelined_result = self._fold_pipelined
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _fold_pipelined(self, result: Any) -> None:
+        if isinstance(result, Mapping) and "stats" in result:
+            protocol.apply_stats_delta(self.stats, result["stats"])
+
+    def _check_active(self) -> None:
+        if self.state is TxState.ABORTED:
+            raise TransactionAbortedError(f"remote tx {self._handle} aborted")
+        if self.state is TxState.COMMITTED:
+            raise TransactionAbortedError(
+                f"remote tx {self._handle} already committed")
+
+    def _call(self, method: str, params: dict[str, Any]) -> Any:
+        """One synchronous transaction RPC; folds the stats delta in.
+
+        A dead connection means the server aborted this transaction (and
+        released its locks), so connection loss surfaces as
+        :class:`TransactionAbortedError` — safe to retry the whole
+        transaction callback, exactly like an engine-side abort.
+        """
+        self._check_active()
+        params["tx"] = self._handle
+        try:
+            result = self._conn.call(method, params)
+        except _CONN_ERRORS as exc:
+            self.state = TxState.ABORTED
+            self._release(reusable=False)
+            raise TransactionAbortedError(
+                f"connection lost mid-transaction ({method}): {exc}"
+            ) from exc
+        if isinstance(result, Mapping) and "stats" in result:
+            protocol.apply_stats_delta(self.stats, result["stats"])
+        return result
+
+    def _send_write(self, method: str, params: dict[str, Any]) -> None:
+        """A buffered-write RPC: pipelined when enabled, else synchronous."""
+        if not self._pipeline:
+            self._call(method, params)
+            return
+        self._check_active()
+        params["tx"] = self._handle
+        try:
+            self._conn.send_nowait(method, params)
+        except _CONN_ERRORS as exc:
+            self.state = TxState.ABORTED
+            self._release(reusable=False)
+            raise TransactionAbortedError(
+                f"connection lost mid-transaction ({method}): {exc}"
+            ) from exc
+
+    def _release(self, reusable: bool) -> None:
+        conn, self._conn = self._conn, None
+        if conn is None:
+            return
+        conn.on_pipelined_result = None
+        self._driver._checkin(conn, reusable=reusable and not conn.closed)
+
+    # -- reads -----------------------------------------------------------------
+
+    def read(self, table: str, key: Any,
+             lock: LockMode = LockMode.READ_COMMITTED
+             ) -> Optional[dict[str, Any]]:
+        result = self._call("tx.read", {
+            "table": table, "key": protocol.encode_value(key),
+            "lock": lock.name})
+        return protocol.decode_value(result["row"])
+
+    def read_batch(self, table: str, keys: Sequence[Any],
+                   lock: LockMode = LockMode.READ_COMMITTED
+                   ) -> list[Optional[dict[str, Any]]]:
+        result = self._call("tx.read_batch", {
+            "table": table,
+            "keys": [protocol.encode_value(k) for k in keys],
+            "lock": lock.name})
+        return [protocol.decode_value(r) for r in result["rows"]]
+
+    def ppis(self, table: str, partition_values: Mapping[str, Any],
+             predicate: Predicate = None,
+             lock: LockMode = LockMode.READ_COMMITTED,
+             columns: Optional[Sequence[str]] = None) -> list[dict[str, Any]]:
+        # with a client-side predicate the server must send full rows;
+        # projection happens after filtering, as embedded does
+        request_columns = None if predicate is not None else columns
+        result = self._call("tx.ppis", {
+            "table": table,
+            "partition_values": protocol.encode_value(dict(partition_values)),
+            "lock": lock.name,
+            "columns": list(request_columns) if request_columns else None})
+        rows = [protocol.decode_value(r) for r in result["rows"]]
+        if predicate is not None:
+            rows = [row for row in rows if predicate(row)]
+            if columns is not None:
+                rows = [{col: row[col] for col in columns} for row in rows]
+        return rows
+
+    def index_scan(self, table: str, index_name: str, values: Sequence[Any],
+                   predicate: Predicate = None,
+                   lock: LockMode = LockMode.READ_COMMITTED
+                   ) -> list[dict[str, Any]]:
+        result = self._call("tx.index_scan", {
+            "table": table, "index": index_name,
+            "values": protocol.encode_value(list(values)),
+            "lock": lock.name})
+        rows = [protocol.decode_value(r) for r in result["rows"]]
+        if predicate is not None:
+            rows = [row for row in rows if predicate(row)]
+        return rows
+
+    def full_scan(self, table: str,
+                  predicate: Predicate = None) -> list[dict[str, Any]]:
+        result = self._call("tx.full_scan", {"table": table})
+        rows = [protocol.decode_value(r) for r in result["rows"]]
+        if predicate is not None:
+            rows = [row for row in rows if predicate(row)]
+        return rows
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, table: str, row: Mapping[str, Any]) -> None:
+        self._send_write("tx.insert", {
+            "table": table, "row": protocol.encode_value(dict(row))})
+
+    def update(self, table: str, key: Any,
+               changes: Mapping[str, Any]) -> None:
+        self._send_write("tx.update", {
+            "table": table, "key": protocol.encode_value(key),
+            "changes": protocol.encode_value(dict(changes))})
+
+    def write(self, table: str, row: Mapping[str, Any]) -> None:
+        self._send_write("tx.write", {
+            "table": table, "row": protocol.encode_value(dict(row))})
+
+    def delete(self, table: str, key: Any, must_exist: bool = True) -> bool:
+        # delete returns whether the row existed, so it always syncs
+        result = self._call("tx.delete", {
+            "table": table, "key": protocol.encode_value(key),
+            "must_exist": must_exist})
+        return result["existed"]
+
+    # -- transaction end -------------------------------------------------------
+
+    def commit(self) -> None:
+        self._check_active()
+        # drain pipelined writes *before* committing: a buffered-write
+        # error (duplicate key, missing row) must fail the transaction
+        # while it is still abortable, never after the commit applied
+        if self._conn.pipelined:
+            try:
+                self._conn.drain()
+            except _CONN_ERRORS as exc:
+                self.state = TxState.ABORTED
+                self._release(reusable=False)
+                raise TransactionAbortedError(
+                    f"connection lost mid-transaction (drain): {exc}"
+                ) from exc
+        with span("commit"):
+            try:
+                result = self._conn.call("tx.commit", {"tx": self._handle})
+                # the commit round records its own access events
+                # (write-batch flush + commit) server-side
+                self._fold_pipelined(result)
+            except _CONN_ERRORS as exc:
+                # the commit request may have been applied before the
+                # connection died: ambiguous by construction, never
+                # transparently retried (the caller must re-read)
+                self.state = TxState.ABORTED
+                self._release(reusable=False)
+                raise CommitAmbiguousError(
+                    f"connection lost while commit of remote tx "
+                    f"{self._handle} was in flight: {exc}") from exc
+            except Exception:
+                self.state = TxState.ABORTED
+                self._release(reusable=True)
+                raise
+        self.state = TxState.COMMITTED
+        self._release(reusable=True)
+
+    def abort(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            return
+        self.state = TxState.ABORTED
+        conn = self._conn
+        if conn is None or conn.closed:
+            self._release(reusable=False)
+            return  # server-side abort already happened with the conn
+        try:
+            conn.call("tx.abort", {"tx": self._handle})
+        except Exception:  # noqa: BLE001 - abort is best effort
+            pass
+        self._release(reusable=True)
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self.state is TxState.ACTIVE:
+            self.commit()
+        elif self.state is TxState.ACTIVE:
+            self.abort()
+
+
+class RemoteSession:
+    """Per-client-thread session against a remote server.
+
+    Mirrors :class:`repro.ndb.session.Session`: hands out transactions,
+    accumulates their statistics, and ``run`` retries the whole callback
+    on lock conflicts *and* on mid-transaction connection loss (the
+    server aborted the transaction, so a retry is safe).
+    :class:`CommitAmbiguousError` deliberately escapes the retry loop.
+    """
+
+    def __init__(self, driver: "RemoteDriver") -> None:
+        self._driver = driver
+        self.stats = AccessStats()
+        self.retries_used = 0
+
+    def begin(self, hint: Optional[tuple[str, Mapping[str, Any]]] = None
+              ) -> RemoteTransaction:
+        return self._driver._begin(hint)
+
+    def run(self, fn: Callable[[RemoteTransaction], T],
+            hint: Optional[tuple[str, Mapping[str, Any]]] = None,
+            retries: int = 5) -> T:
+        last_exc: Exception = TransactionAbortedError("no attempts made")
+        for attempt in range(max(1, retries)):
+            tx = self._driver._begin(hint)
+            try:
+                with span("execute", attempt=attempt):
+                    result = fn(tx)
+                if tx.state is TxState.ACTIVE:
+                    tx.commit()
+                self.stats.merge(tx.stats)
+                return result
+            except (DeadlockError, LockTimeoutError,
+                    TransactionAbortedError) as exc:
+                tx.abort()
+                self.stats.merge(tx.stats)
+                self.retries_used += 1
+                add_event("tx_retry", reason=type(exc).__name__)
+                registry = current_registry()
+                if registry is not None:
+                    registry.inc("ndb_tx_retries_total",
+                                 reason=type(exc).__name__)
+                last_exc = exc
+            except Exception:
+                tx.abort()
+                self.stats.merge(tx.stats)
+                raise
+        raise last_exc
+
+    def reset_stats(self) -> AccessStats:
+        stats, self.stats = self.stats, AccessStats()
+        return stats
+
+
+class RemoteDriver(DALDriver):
+    """DAL driver speaking the RPC protocol to one ndb-server process."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: Optional[float] = 30.0,
+                 connect_timeout: float = 5.0,
+                 max_reconnect_attempts: int = 5,
+                 reconnect_backoff: float = 0.05,
+                 pool_size: int = 16,
+                 pipeline_writes: bool = False,
+                 client_name: str = "remote-dal") -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_reconnect_attempts = max_reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.pool_size = pool_size
+        self.pipeline_writes = pipeline_writes
+        self.client_name = client_name
+        self._pool: list[ClientConn] = []  # guarded_by: _pool_lock
+        self._pool_lock = threading.Lock()
+        self._server_info: Optional[dict[str, Any]] = None  # guarded_by: GIL
+        self._closed = False  # guarded_by: GIL
+
+    # -- connection pool -------------------------------------------------------
+
+    def _dial(self) -> ClientConn:
+        """One connection attempt cycle: bounded retries with backoff."""
+        last_exc: Optional[Exception] = None
+        backoff = self.reconnect_backoff
+        for attempt in range(max(1, self.max_reconnect_attempts)):
+            if attempt:
+                time.sleep(backoff)
+                backoff *= 2
+            try:
+                sock = dial(self.host, self.port, timeout=self.timeout,
+                            connect_timeout=self.connect_timeout)
+            except OSError as exc:
+                last_exc = exc
+                continue
+            conn = ClientConn(sock, timeout=self.timeout)
+            try:
+                info = conn.call("hello", {
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "client": self.client_name})
+            except Exception:
+                conn.close()
+                raise
+            self._server_info = info
+            return conn
+        raise ConnectionClosedError(
+            f"cannot reach server at {self.host}:{self.port} after "
+            f"{self.max_reconnect_attempts} attempts: {last_exc}")
+
+    def _checkout(self) -> ClientConn:
+        with self._pool_lock:
+            while self._pool:
+                conn = self._pool.pop()
+                if not conn.closed:
+                    return conn
+        return self._dial()
+
+    def _checkin(self, conn: ClientConn, reusable: bool = True) -> None:
+        if not reusable or conn.closed or conn.pipelined or self._closed:
+            conn.close()
+            return
+        with self._pool_lock:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        self._closed = True
+        with self._pool_lock:
+            conns, self._pool = self._pool, []
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "RemoteDriver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- driver-level RPCs -----------------------------------------------------
+
+    def _call(self, method: str, params: Optional[dict[str, Any]] = None,
+              idempotent: bool = False) -> Any:
+        """Borrow a pooled connection for one call.
+
+        Idempotent reads retry across a reconnect (each retry cycle
+        itself dials with backoff); non-idempotent calls fail fast on
+        connection loss — the caller cannot know whether they applied.
+        """
+        attempts = self.max_reconnect_attempts if idempotent else 1
+        last_exc: Exception = ConnectionClosedError("no attempts made")
+        for _attempt in range(max(1, attempts)):
+            conn = self._checkout()
+            try:
+                result = conn.call(method, params or {})
+            except _CONN_ERRORS as exc:
+                last_exc = exc
+                continue  # conn is closed; next checkout redials
+            self._checkin(conn)
+            return result
+        raise last_exc
+
+    def _begin(self, hint: Optional[tuple[str, Mapping[str, Any]]]
+               ) -> RemoteTransaction:
+        """Open a server-side transaction pinned to one connection."""
+        last_exc: Exception = ConnectionClosedError("no attempts made")
+        for _attempt in range(max(1, self.max_reconnect_attempts)):
+            conn = self._checkout()
+            try:
+                result = conn.call("begin",
+                                   {"hint": protocol.encode_hint(hint)})
+            except _CONN_ERRORS as exc:
+                last_exc = exc  # nothing started server-side that survives
+                continue
+            return RemoteTransaction(self, conn, result["tx"],
+                                     result.get("coordinator", -1),
+                                     self.pipeline_writes)
+        raise last_exc
+
+    # -- DALDriver interface ---------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self._call("create_table",
+                   {"schema": protocol.encode_schema(schema)})
+
+    def session(self) -> RemoteSession:
+        return RemoteSession(self)
+
+    def table_size(self, table: str) -> int:
+        return self._call("table_size", {"table": table}, idempotent=True)
+
+    @property
+    def engine_name(self) -> str:
+        if self._server_info is None:
+            self._call("ping", idempotent=True)  # dials + hellos
+        info = self._server_info or {}
+        return (f"remote({self.host}:{self.port}, "
+                f"server={info.get('server', '?')}, "
+                f"engine={info.get('engine', '?')})")
+
+    # -- admin / observability surface -----------------------------------------
+
+    def ping(self, delay: float = 0.0) -> str:
+        return self._call("ping", {"delay": delay} if delay else {})
+
+    def tables(self) -> list[str]:
+        return self._call("tables", idempotent=True)
+
+    def admin(self, op: str, *, idempotent: bool = False,
+              **params: Any) -> Any:
+        return self._call("admin", {"op": op, **params},
+                          idempotent=idempotent)
+
+    def kill_node(self, node: int) -> None:
+        self.admin("kill_node", node=node, idempotent=True)
+
+    def restart_node(self, node: int) -> None:
+        self.admin("restart_node", node=node, idempotent=True)
+
+    def complete_epoch(self) -> int:
+        return self.admin("complete_epoch")
+
+    def local_checkpoint(self) -> None:
+        self.admin("local_checkpoint")
+
+    def crash_and_recover(self) -> int:
+        return self.admin("crash_and_recover")
+
+    def is_available(self) -> bool:
+        return self.admin("is_available", idempotent=True)
+
+    def live_nodes(self) -> list[int]:
+        return self.admin("live_nodes", idempotent=True)
+
+    def partition_sizes(self, table: str) -> dict[int, int]:
+        raw = self.admin("partition_sizes", table=table, idempotent=True)
+        return {int(pid): size for pid, size in raw.items()}
+
+    def replica_snapshots(self, table: str) -> dict[int, list[list[dict]]]:
+        raw = self.admin("replica_snapshots", table=table, idempotent=True)
+        return {int(pid): [[protocol.decode_value(row) for row in replica]
+                           for replica in replicas]
+                for pid, replicas in raw.items()}
+
+    def metrics_snapshot(self, include_samples: bool = True) -> dict:
+        return self._call("metrics",
+                          {"include_samples": include_samples},
+                          idempotent=True)
+
+    def flight_dump(self, reason: str = "rpc_request") -> Optional[str]:
+        return self._call("flight_dump", {"reason": reason}, idempotent=True)
+
+    def shutdown_server(self) -> None:
+        """Ask the server to shut down gracefully (drains, then exits)."""
+        self._call("shutdown")
+        self.close()

@@ -71,6 +71,56 @@ class ClusterDownError(DatabaseError):
 
 
 # ---------------------------------------------------------------------------
+# RPC layer (process-based deployment)
+# ---------------------------------------------------------------------------
+
+
+class RPCError(ReproError):
+    """Base class for errors raised by the DAL RPC layer itself.
+
+    Engine errors (everything above) travel over the wire and are
+    re-raised as their original classes on the client; :class:`RPCError`
+    subclasses describe failures *of the transport or the server
+    process*, not of the database.
+    """
+
+
+class ProtocolError(RPCError):
+    """Malformed frame, oversized frame, or undecodable payload."""
+
+
+class ConnectionClosedError(RPCError):
+    """The peer closed the connection (EOF) or the socket died."""
+
+
+class RequestTimeoutError(RPCError):
+    """No response within the configured request timeout.
+
+    The connection is poisoned afterwards (a late response would desync
+    request/response matching) and is closed rather than reused.
+    """
+
+
+class ServerShutdownError(RPCError):
+    """The server is draining for shutdown and refuses new work."""
+
+
+class CommitAmbiguousError(RPCError):
+    """The connection died while a commit was in flight.
+
+    The commit may or may not have been applied; the client must *not*
+    transparently retry the transaction (it could double-apply) and has
+    to re-read to find out. Non-commit RPCs never raise this: losing the
+    connection aborts the server-side transaction, so retrying the whole
+    transaction callback is safe.
+    """
+
+
+class RemoteCallError(RPCError):
+    """The server raised an exception type unknown to this client."""
+
+
+# ---------------------------------------------------------------------------
 # File system layer
 # ---------------------------------------------------------------------------
 

@@ -30,9 +30,16 @@ def _nan_safe(value: float) -> Optional[float]:
     return None if value != value else value  # NaN -> null in JSON
 
 
-def snapshot(registry: MetricsRegistry,
-             meta: Optional[dict] = None) -> dict:
-    """Structured snapshot of every metric in ``registry``."""
+def snapshot(registry: MetricsRegistry, meta: Optional[dict] = None,
+             include_samples: bool = False) -> dict:
+    """Structured snapshot of every metric in ``registry``.
+
+    With ``include_samples`` each histogram additionally carries its raw
+    reservoir samples, which makes the snapshot *mergeable*: percentiles
+    of a merged snapshot are recomputed from the pooled samples instead
+    of being averaged (see :func:`merge_snapshots`). Server processes
+    emit sample-carrying snapshots on exit for exactly this reason.
+    """
     counters = [
         {"name": c.name, "labels": dict(c.labels), "value": c.value}
         for c in registry.counters()
@@ -44,7 +51,7 @@ def snapshot(registry: MetricsRegistry,
     histograms = []
     for h in registry.histograms():
         ps = h.percentiles(PERCENTILES)
-        histograms.append({
+        entry = {
             "name": h.name,
             "labels": dict(h.labels),
             "count": h.count,
@@ -53,7 +60,10 @@ def snapshot(registry: MetricsRegistry,
             "mean": _nan_safe(h.mean),
             "percentiles": {f"p{int(p)}": _nan_safe(v)
                             for p, v in ps.items()},
-        })
+        }
+        if include_samples:
+            entry["samples"] = h.sample_values()
+        histograms.append(entry)
     key = lambda m: (m["name"], sorted(m["labels"].items()))  # noqa: E731
     result = {
         "version": SNAPSHOT_VERSION,
@@ -67,9 +77,10 @@ def snapshot(registry: MetricsRegistry,
 
 
 def to_json(registry: MetricsRegistry, meta: Optional[dict] = None,
-            indent: int = 2) -> str:
-    return json.dumps(snapshot(registry, meta=meta), indent=indent,
-                      sort_keys=True)
+            indent: int = 2, include_samples: bool = False) -> str:
+    return json.dumps(snapshot(registry, meta=meta,
+                               include_samples=include_samples),
+                      indent=indent, sort_keys=True)
 
 
 def from_json(text: str) -> dict:
@@ -87,6 +98,53 @@ def snapshot_counters(data: dict) -> dict[tuple, float]:
         (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
         for c in data["counters"]
     }
+
+
+def registry_from_snapshot(data: dict) -> MetricsRegistry:
+    """Rebuild a registry from a parsed snapshot.
+
+    Counters and gauges round-trip exactly. Histograms rebuild from the
+    snapshot's reservoir ``samples`` when present (sample-carrying
+    snapshots, the mergeable kind); count/sum/max stay exact either way,
+    but a sample-less snapshot yields empty percentiles.
+    """
+    registry = MetricsRegistry()
+    for c in data.get("counters", ()):
+        registry.counter(c["name"], **c["labels"]).inc(c["value"])
+    for g in data.get("gauges", ()):
+        registry.gauge(g["name"], **g["labels"]).set(g["value"])
+    for h in data.get("histograms", ()):
+        metric = registry.histogram(h["name"], **h["labels"])
+        metric.merge_parts(h["count"], h["sum"], h["max"],
+                           list(h.get("samples", ())))
+    return registry
+
+
+def merge_snapshots(snapshots: list[dict],
+                    meta: Optional[dict] = None,
+                    include_samples: bool = True) -> dict:
+    """Merge many snapshots (one per process) into one cluster-wide view.
+
+    Counters and gauges sum; histograms pool their reservoir samples so
+    the merged percentiles are recomputed over the union, exactly as
+    :meth:`MetricsRegistry.merge` does for in-process registries. Each
+    input's ``meta`` is preserved under ``meta.sources``.
+    """
+    merged = MetricsRegistry()
+    sources = []
+    for data in snapshots:
+        version = data.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported metrics snapshot version {version!r}")
+        merged.merge(registry_from_snapshot(data))
+        if data.get("meta"):
+            sources.append(dict(data["meta"]))
+    out_meta = dict(meta or {})
+    out_meta["merged_from"] = len(snapshots)
+    if sources:
+        out_meta["sources"] = sources
+    return snapshot(merged, meta=out_meta, include_samples=include_samples)
 
 
 # -- Prometheus text exposition ------------------------------------------------

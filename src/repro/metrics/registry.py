@@ -111,6 +111,17 @@ class HistogramMetric:
         with self._lock:
             self._reservoir.merge_parts(count, total, mx, samples)
 
+    def merge_parts(self, count: int, total: float, max_value: float,
+                    samples: list[float]) -> None:
+        """Fold externally-supplied reservoir state in (snapshot merging)."""
+        with self._lock:
+            self._reservoir.merge_parts(count, total, max_value, samples)
+
+    def sample_values(self) -> list[float]:
+        """The raw reservoir samples (exported for mergeable snapshots)."""
+        with self._lock:
+            return list(self._reservoir._samples)
+
     @property
     def count(self) -> int:
         with self._lock:

@@ -1,0 +1,210 @@
+"""Framed socket connections: blocking transport plus a pipelining client.
+
+:class:`FrameConn` is the symmetric transport both ends share — blocking
+reads of exactly one frame, write-locked sends so concurrent senders
+never interleave a frame.
+
+:class:`ClientConn` adds the client-side request plumbing: request-id
+allocation, synchronous ``call()``, and explicit pipelining via
+``send_nowait()`` + ``drain()``. The server answers a connection's
+requests strictly in order, so a pipelined caller just reads responses
+until its own id comes back, checking the earlier (pipelined) ones for
+errors on the way. A connection is owned by one logical caller at a time
+(the driver's pool hands it to one transaction); it is not a
+multiplexer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    ProtocolError,
+    RequestTimeoutError,
+)
+from repro.rpc import protocol
+
+
+class FrameConn:
+    """One framed, blocking socket connection."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_mutex = threading.Lock()  # a frame is sent atomically
+        self._closed = False  # guarded_by: GIL
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: Mapping[str, Any]) -> None:
+        data = protocol.encode_frame(message)
+        try:
+            with self._send_mutex:
+                self._sock.sendall(data)
+        except OSError as exc:
+            self.close()
+            raise ConnectionClosedError(f"send failed: {exc}") from None
+
+    def recv(self) -> dict[str, Any]:
+        header = self._recv_exact(4)
+        length = protocol.decode_length(header)
+        return protocol.decode_payload(self._recv_exact(length))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout:
+                # a late response would desync id matching; poison the conn
+                self.close()
+                raise RequestTimeoutError(
+                    f"no data within the request timeout ({n - remaining}"
+                    f"/{n} bytes read)") from None
+            except OSError as exc:
+                self.close()
+                raise ConnectionClosedError(f"recv failed: {exc}") from None
+            if not chunk:
+                self.close()
+                raise ConnectionClosedError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close really should not fail
+            pass
+
+
+class ClientConn:
+    """A client connection: ids, sync calls, and write pipelining."""
+
+    def __init__(self, sock: socket.socket,
+                 timeout: Optional[float] = None) -> None:
+        sock.settimeout(timeout)
+        self._conn = FrameConn(sock)
+        self._next_id = 0           # guarded_by: owner-thread
+        self._pipelined: list[int] = []  # guarded_by: owner-thread
+        #: called with each successful pipelined response's result as it
+        #: is collected (the remote driver folds stats deltas through it)
+        self.on_pipelined_result: Optional[Callable[[Any], None]] = None
+
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+    @property
+    def pipelined(self) -> int:
+        """Requests sent but not yet acknowledged (pipelining depth)."""
+        return len(self._pipelined)
+
+    def call(self, method: str,
+             params: Optional[Mapping[str, Any]] = None) -> Any:
+        """Send one request and return its result (raising remote errors).
+
+        Any pipelined requests still in flight are drained first — their
+        responses arrive before ours, and the first error among them is
+        raised after the in-order read completes.
+        """
+        req_id = self._send(method, params)
+        return self._await(req_id)
+
+    def send_nowait(self, method: str,
+                    params: Optional[Mapping[str, Any]] = None) -> int:
+        """Pipeline a request; its response is checked at the next sync
+        point (``call``/``drain``)."""
+        req_id = self._send(method, params)
+        self._pipelined.append(req_id)
+        return req_id
+
+    def drain(self) -> None:
+        """Collect every pipelined response; raise the first error."""
+        first_error: Optional[Mapping[str, Any]] = None
+        while self._pipelined:
+            response = self._conn.recv()
+            req_id = self._pipelined.pop(0)
+            if response.get("id") != req_id:
+                self._conn.close()
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"pipelined request {req_id}")
+            if response.get("ok"):
+                if self.on_pipelined_result is not None:
+                    self.on_pipelined_result(response.get("result"))
+            elif first_error is None:
+                first_error = response.get("error", {})
+        if first_error is not None:
+            protocol.raise_remote(first_error)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _send(self, method: str,
+              params: Optional[Mapping[str, Any]]) -> int:
+        self._next_id += 1
+        req_id = self._next_id
+        self._conn.send(protocol.request(req_id, method, params))
+        return req_id
+
+    def _await(self, req_id: int) -> Any:
+        pipelined_error: Optional[Mapping[str, Any]] = None
+        while True:
+            response = self._conn.recv()
+            got = response.get("id")
+            if self._pipelined and got == self._pipelined[0]:
+                self._pipelined.pop(0)
+                if response.get("ok"):
+                    if self.on_pipelined_result is not None:
+                        self.on_pipelined_result(response.get("result"))
+                elif pipelined_error is None:
+                    pipelined_error = response.get("error", {})
+                continue
+            if got != req_id:
+                self._conn.close()
+                raise ProtocolError(
+                    f"response id {got!r} does not match request {req_id}")
+            break
+        if not response.get("ok"):
+            # the sync call's own failure wins: it is the actionable one
+            protocol.raise_remote(response.get("error", {}))
+        if pipelined_error is not None:
+            protocol.raise_remote(pipelined_error)
+        return response.get("result")
+
+
+def dial(host: str, port: int, *, unix_path: Optional[str] = None,
+         timeout: Optional[float] = None,
+         connect_timeout: Optional[float] = None) -> socket.socket:
+    """Open a connected socket (TCP, or AF_UNIX when ``unix_path`` set)."""
+    if unix_path is not None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(connect_timeout if connect_timeout is not None
+                        else timeout)
+        sock.connect(unix_path)
+    else:
+        sock = socket.create_connection(
+            (host, port),
+            timeout=connect_timeout if connect_timeout is not None
+            else timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.settimeout(timeout)
+    return sock

@@ -1,0 +1,298 @@
+"""Wire protocol for the DAL RPC subsystem.
+
+Frames are length-prefixed JSON: a 4-byte big-endian payload length
+followed by the UTF-8 JSON payload. JSON keeps the protocol debuggable
+with ``tcpdump``/``socat`` and needs no third-party codec; the framing
+gives cheap message boundaries and request pipelining (a client may send
+many requests before reading any response — the server handles each
+connection's requests strictly in order and responds in order, so
+responses match up by ``id`` even under pipelining).
+
+Requests and responses::
+
+    {"id": 7, "method": "tx", "params": {...}}
+    {"id": 7, "ok": true,  "result": {...}}
+    {"id": 7, "ok": false, "error": {"type": "DeadlockError", "message": "..."}}
+
+Three value-level codecs live here because both ends need them:
+
+* :func:`encode_value` / :func:`decode_value` — rows, keys and hints.
+  JSON-native scalars pass through, tuples become lists (every DAL
+  entry point accepts sequences), and ``bytes`` become a tagged base64
+  object;
+* :func:`encode_schema` / :func:`decode_schema` — :class:`TableSchema`
+  for ``create_table``;
+* :func:`stats_delta` / :func:`apply_stats_delta` — incremental
+  :class:`AccessStats` shipping. Every transaction RPC response carries
+  the statistics the call produced *server-side* (scalar counter diffs
+  plus the new :class:`AccessEvent` records), and the client folds them
+  into its local stats object, so access-path verification and the
+  performance model see exactly what an embedded driver would.
+
+Errors travel as ``{"type": <class name>, "message": str}``. The client
+re-raises the matching class from :mod:`repro.errors` (the whole
+``ReproError`` tree is registered by introspection, so a new database
+error type propagates with no protocol change); unknown types surface
+as :class:`repro.errors.RemoteCallError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Any, Mapping, Optional
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, RemoteCallError
+from repro.ndb.schema import TableSchema
+from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
+
+#: bump when the frame or message layout changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: refuse frames larger than this (corrupt peer / length desync guard)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+_BYTES_TAG = "__bytes_b64__"
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message to its on-wire bytes (length prefix + JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds "
+                            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_length(header: bytes) -> int:
+    """Parse the 4-byte length prefix; validates the advertised size."""
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer advertised a {length}-byte frame "
+                            f"(max {MAX_FRAME_BYTES}); stream desynced?")
+    return length
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame payload is {type(message).__name__}, "
+                            "expected an object")
+    return message
+
+
+# -- message constructors ------------------------------------------------------
+
+
+def request(req_id: int, method: str,
+            params: Optional[Mapping[str, Any]] = None) -> dict[str, Any]:
+    return {"id": req_id, "method": method, "params": dict(params or {})}
+
+
+def ok(req_id: int, result: Any) -> dict[str, Any]:
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error(req_id: int, exc: BaseException) -> dict[str, Any]:
+    return {"id": req_id, "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+def _error_registry() -> dict[str, type]:
+    """Every concrete ``ReproError`` subclass, by class name."""
+    registry: dict[str, type] = {}
+    stack = [_errors.ReproError]
+    while stack:
+        cls = stack.pop()
+        registry[cls.__name__] = cls
+        stack.extend(cls.__subclasses__())
+    # common stdlib types a handler may legitimately raise
+    for cls in (ValueError, KeyError, TypeError, RuntimeError,
+                NotImplementedError):
+        registry[cls.__name__] = cls
+    return registry
+
+
+_ERRORS_BY_NAME = _error_registry()
+
+
+def raise_remote(err: Mapping[str, Any]) -> None:
+    """Re-raise a remote error dict as the matching local exception."""
+    name = err.get("type", "?")
+    message = err.get("message", "")
+    cls = _ERRORS_BY_NAME.get(name)
+    if cls is None:
+        raise RemoteCallError(f"{name}: {message}")
+    raise cls(message)
+
+
+# -- value codec ---------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively encode a row/key/hint value into JSON-able form."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    raise ProtocolError(f"cannot encode {type(value).__name__} value "
+                        f"{value!r} for the wire")
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if set(value) == {_BYTES_TAG}:
+            return base64.b64decode(value[_BYTES_TAG])
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+def encode_hint(hint: Optional[tuple[str, Mapping[str, Any]]]) -> Any:
+    if hint is None:
+        return None
+    table, values = hint
+    return [table, encode_value(dict(values))]
+
+
+def decode_hint(raw: Any) -> Optional[tuple[str, dict[str, Any]]]:
+    if raw is None:
+        return None
+    table, values = raw
+    return (table, decode_value(values))
+
+
+# -- schema codec --------------------------------------------------------------
+
+
+def encode_schema(schema: TableSchema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "columns": list(schema.columns),
+        "primary_key": list(schema.primary_key),
+        "partition_key": list(schema.partition_key or ()),
+        "indexes": {name: list(cols)
+                    for name, cols in schema.indexes.items()},
+    }
+
+
+def decode_schema(raw: Mapping[str, Any]) -> TableSchema:
+    return TableSchema(
+        name=raw["name"],
+        columns=tuple(raw["columns"]),
+        primary_key=tuple(raw["primary_key"]),
+        partition_key=tuple(raw["partition_key"]) or None,
+        indexes={name: tuple(cols)
+                 for name, cols in raw.get("indexes", {}).items()},
+    )
+
+
+# -- access-stats codec --------------------------------------------------------
+
+
+def encode_event(event: AccessEvent) -> dict[str, Any]:
+    return {
+        "kind": event.kind.value,
+        "table": event.table,
+        "partitions": list(event.partitions),
+        "nodes": list(event.nodes),
+        "coordinator": event.coordinator,
+        "rows": event.rows,
+        "locked": event.locked,
+        "write": event.write,
+        "node_groups": list(event.node_groups),
+    }
+
+
+def decode_event(raw: Mapping[str, Any]) -> AccessEvent:
+    return AccessEvent(
+        kind=AccessKind(raw["kind"]),
+        table=raw["table"],
+        partitions=tuple(raw["partitions"]),
+        nodes=tuple(raw["nodes"]),
+        coordinator=raw["coordinator"],
+        rows=raw["rows"],
+        locked=raw["locked"],
+        write=raw["write"],
+        node_groups=tuple(raw.get("node_groups", ())),
+    )
+
+
+class StatsCursor:
+    """Server-side bookmark into one transaction's growing stats.
+
+    :meth:`delta` returns everything recorded since the previous call —
+    scalar counter diffs plus the new events — and advances the bookmark,
+    so each RPC response ships only its own call's statistics.
+    """
+
+    _SCALARS = ("round_trips", "rows_read", "rows_written", "rows_locked",
+                "remote_partition_hops", "partitions_touched")
+
+    def __init__(self) -> None:
+        self._scalars = dict.fromkeys(self._SCALARS, 0)
+        self._by_kind: dict[str, int] = {}
+        self._events_sent = 0
+
+    def delta(self, stats: AccessStats) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for name in self._SCALARS:
+            value = getattr(stats, name)
+            if value != self._scalars[name]:
+                out[name] = value - self._scalars[name]
+                self._scalars[name] = value
+        by_kind = {}
+        for kind, count in stats.by_kind.items():
+            sent = self._by_kind.get(kind.value, 0)
+            if count != sent:
+                by_kind[kind.value] = count - sent
+                self._by_kind[kind.value] = count
+        if by_kind:
+            out["by_kind"] = by_kind
+        events = stats.events[self._events_sent:]
+        if events:
+            out["events"] = [encode_event(e) for e in events]
+            self._events_sent = len(stats.events)
+        return out
+
+
+def apply_stats_delta(stats: AccessStats, delta: Mapping[str, Any]) -> None:
+    """Fold a server-produced stats delta into a client-side AccessStats.
+
+    Scalars are applied directly (not via :meth:`AccessStats.record`) so
+    the client mirrors the server's counters exactly — including the
+    double-incremented ``rows_locked`` semantics of the native engine.
+    New events are appended and also announced to the active per-op trace,
+    so a namenode tracing an operation over a remote DAL still sees its
+    ``db.*`` round-trip events.
+    """
+    from repro.metrics.tracing import _ACTIVE, record_access
+
+    for name in StatsCursor._SCALARS:
+        if name in delta:
+            setattr(stats, name, getattr(stats, name) + delta[name])
+    for kind_value, count in delta.get("by_kind", {}).items():
+        kind = AccessKind(kind_value)
+        stats.by_kind[kind] = stats.by_kind.get(kind, 0) + count
+    for raw in delta.get("events", ()):
+        event = decode_event(raw)
+        if getattr(_ACTIVE, "trace", None) is not None:
+            record_access(event.kind.value, event.table,
+                          event.partitions, event.node_groups)
+        if stats.keep_events:
+            stats.events.append(event)

@@ -1,0 +1,601 @@
+"""``ndb-server``: hosts an NDB cluster and serves the DAL over a socket.
+
+One server process owns one :class:`repro.ndb.NDBCluster` (through its
+DAL driver) and exposes the full ``DALTransaction`` contract — begin,
+reads at every access path with lock modes and partition hints intact,
+buffered writes, commit/abort — plus admin/failure-injection and
+observability endpoints. The loop is thread-per-connection: each
+connection gets its own DAL session and its transactions are answered
+strictly in order, which is what makes client-side request pipelining
+safe (responses match requests by position as well as by id).
+
+Connection death is transaction death: every transaction opened on a
+connection is aborted when the connection goes away, so a crashed or
+timed-out client never leaves row locks behind.
+
+Graceful shutdown (SIGTERM / ``KeyboardInterrupt`` / the ``shutdown``
+RPC) stops accepting connections, refuses new ``begin`` requests with
+:class:`ServerShutdownError`, waits up to ``drain_timeout`` seconds for
+in-flight transactions to commit or abort, aborts whatever remains, and
+only then tears the engine down. Redo-log flushing needs no extra step:
+the group-committed log's ``append`` blocks until the record is flushed,
+so every transaction that managed to commit is already durable. On exit
+the server writes its metrics snapshot (with raw histogram samples, so
+snapshots from many processes merge exactly) and dumps its flight
+recorder when a dump directory is configured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import Any, Mapping, Optional
+
+from repro.dal.driver import DALDriver
+from repro.dal.ndb_driver import NDBDriver
+from repro.errors import RPCError, ServerShutdownError, TransactionAbortedError
+from repro.metrics import export
+from repro.metrics.flightrecorder import FlightRecorder
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import _RegistryContext
+from repro.ndb.config import NDBConfig
+from repro.ndb.locks import LockMode
+from repro.rpc import protocol
+from repro.rpc.conn import FrameConn
+from repro.rpc.protocol import StatsCursor
+
+#: stdout handshake line prefix the supervisor waits for
+READY_PREFIX = "REPRO-NDB-SERVE READY"
+
+
+def _lock_mode(name: Optional[str]) -> LockMode:
+    if not name:
+        return LockMode.READ_COMMITTED
+    try:
+        return LockMode[name]
+    except KeyError:
+        raise protocol.ProtocolError(f"unknown lock mode {name!r}") from None
+
+
+class _ConnState:
+    """Per-connection server state: one DAL session, its open txs."""
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+        #: handle -> (transaction, stats cursor)
+        self.txs: dict[int, tuple[Any, StatsCursor]] = {}  # guarded_by: lock
+        self.lock = threading.Lock()  # conn thread vs shutdown-time abort
+
+    def abort_all(self) -> None:
+        with self.lock:
+            victims = list(self.txs.values())
+            self.txs.clear()
+        for tx, _cursor in victims:
+            try:
+                tx.abort()
+            except Exception:  # noqa: BLE001 - teardown is best effort
+                pass
+
+    def open_tx_count(self) -> int:
+        with self.lock:
+            return len(self.txs)
+
+
+class NDBServer:
+    """Serves one DAL driver (normally an NDB cluster) over a socket."""
+
+    def __init__(self, driver: Optional[DALDriver] = None,
+                 config: Optional[NDBConfig] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 name: str = "ndb0",
+                 registry: Optional[MetricsRegistry] = None,
+                 drain_timeout: float = 5.0,
+                 metrics_path: Optional[str] = None,
+                 flight_dir: Optional[str] = None) -> None:
+        if driver is not None and config is not None:
+            raise ValueError("pass either a driver or a config, not both")
+        self.driver = driver if driver is not None else NDBDriver(config=config)
+        self.name = name
+        self.host = host
+        self.port = port
+        self.registry = registry or MetricsRegistry()
+        self.drain_timeout = drain_timeout
+        self.metrics_path = metrics_path
+        self.flight = FlightRecorder(name=f"rpc-{name}", dump_dir=flight_dir)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list[threading.Thread] = []  # guarded_by: _mutex
+        self._states: set[_ConnState] = set()            # guarded_by: _mutex
+        self._mutex = threading.Lock()
+        self._handles = itertools.count(1)
+        self._draining = False   # guarded_by: GIL -- one flag flip
+        self._stopped = False    # guarded_by: _mutex [writes]
+        #: set when something (signal, shutdown RPC) asks the server to stop
+        self.stop_requested = threading.Event()
+        self._handlers = {
+            "hello": self._h_hello,
+            "ping": self._h_ping,
+            "create_table": self._h_create_table,
+            "table_size": self._h_table_size,
+            "tables": self._h_tables,
+            "begin": self._h_begin,
+            "tx.read": self._h_tx_read,
+            "tx.read_batch": self._h_tx_read_batch,
+            "tx.ppis": self._h_tx_ppis,
+            "tx.index_scan": self._h_tx_index_scan,
+            "tx.full_scan": self._h_tx_full_scan,
+            "tx.insert": self._h_tx_insert,
+            "tx.update": self._h_tx_update,
+            "tx.write": self._h_tx_write,
+            "tx.delete": self._h_tx_delete,
+            "tx.commit": self._h_tx_commit,
+            "tx.abort": self._h_tx_abort,
+            "metrics": self._h_metrics,
+            "flight_dump": self._h_flight_dump,
+            "admin": self._h_admin,
+            "shutdown": self._h_shutdown,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listener and start accepting in a background thread."""
+        listener = socket.create_server((self.host, self.port), backlog=64)
+        listener.settimeout(0.25)  # poll the stop flag between accepts
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"rpc-accept-{self.name}",
+            daemon=True)
+        self._accept_thread.start()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to stop (signal-handler safe)."""
+        self.stop_requested.set()
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain, abort leftovers, persist, tear down."""
+        with self._mutex:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._draining = True
+        self.stop_requested.set()
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        # drain: give in-flight transactions a chance to finish cleanly
+        deadline = time.monotonic() + self.drain_timeout
+        while time.monotonic() < deadline:
+            with self._mutex:
+                open_txs = sum(s.open_tx_count() for s in self._states)
+            if not open_txs:
+                break
+            time.sleep(0.01)
+        # abort the rest and kick the connections loose
+        with self._mutex:
+            states = list(self._states)
+            threads = list(self._conn_threads)
+        for state in states:
+            state.abort_all()
+        for state in states:
+            conn = getattr(state, "conn", None)
+            if conn is not None:
+                conn.close()
+        for thread in threads:
+            thread.join(timeout=2.0)
+        self._persist_observability()
+        cluster = getattr(self.driver, "cluster", None)
+        if cluster is not None and hasattr(cluster, "close"):
+            cluster.close()
+
+    def serve_until_stopped(self) -> None:
+        """Block until a stop is requested, then shut down gracefully."""
+        try:
+            while not self.stop_requested.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        self.stop()
+
+    def __enter__(self) -> "NDBServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _persist_observability(self) -> None:
+        if self.metrics_path:
+            meta = {"server": self.name, "pid": os.getpid(),
+                    "engine": self.driver.engine_name, "reason": "shutdown"}
+            try:
+                with open(self.metrics_path, "w", encoding="utf-8") as fh:
+                    fh.write(export.to_json(self.registry, meta=meta,
+                                            include_samples=True))
+            except OSError:  # pragma: no cover - disk full/permissions
+                pass
+        if self.flight.dump_dir and self.flight.ops():
+            try:
+                self.flight.dump(reason="shutdown")
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- accept / serve loops --------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self.stop_requested.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by stop()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_conn, args=(sock,),
+                name=f"rpc-conn-{self.name}", daemon=True)
+            with self._mutex:
+                self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_conn(self, sock: socket.socket) -> None:
+        conn = FrameConn(sock)
+        state = _ConnState(self.driver.session())
+        state.conn = conn
+        with self._mutex:
+            self._states.add(state)
+        self.registry.inc("rpc_connections_total")
+        self.registry.gauge("rpc_open_connections").inc(1)
+        try:
+            # bind the server registry so engine-level counters
+            # (lock waits, shard fan-out, ...) record on every request
+            with _RegistryContext(self.registry):
+                while True:
+                    try:
+                        message = conn.recv()
+                    except RPCError:
+                        break  # peer went away (or sent garbage)
+                    response = self._dispatch(state, message)
+                    try:
+                        conn.send(response)
+                    except RPCError:
+                        break
+        finally:
+            state.abort_all()
+            conn.close()
+            with self._mutex:
+                self._states.discard(state)
+            self.registry.gauge("rpc_open_connections").inc(-1)
+
+    def _dispatch(self, state: _ConnState,
+                  message: Mapping[str, Any]) -> dict[str, Any]:
+        req_id = message.get("id", 0)
+        method = message.get("method", "")
+        params = message.get("params") or {}
+        handler = self._handlers.get(method)
+        record = self.flight.begin(f"rpc.{method}")
+        started = time.perf_counter()
+        error: Optional[BaseException] = None
+        try:
+            if handler is None:
+                raise protocol.ProtocolError(f"unknown method {method!r}")
+            result = handler(state, params)
+            return protocol.ok(req_id, result)
+        except Exception as exc:  # noqa: BLE001 - every error goes on the wire
+            error = exc
+            self.registry.inc("rpc_errors_total", method=method,
+                              type=type(exc).__name__)
+            return protocol.error(req_id, exc)
+        finally:
+            self.registry.inc("rpc_requests_total", method=method)
+            self.registry.observe("rpc_request_seconds",
+                                  time.perf_counter() - started,
+                                  method=method)
+            self.flight.end(record, error=error)
+
+    # -- tx plumbing -----------------------------------------------------------
+
+    def _get_tx(self, state: _ConnState,
+                params: Mapping[str, Any]) -> tuple[Any, StatsCursor]:
+        handle = params.get("tx")
+        with state.lock:
+            entry = state.txs.get(handle)
+        if entry is None:
+            raise TransactionAbortedError(
+                f"unknown transaction handle {handle!r} "
+                "(aborted server-side or already finished)")
+        return entry
+
+    def _pop_tx(self, state: _ConnState,
+                params: Mapping[str, Any]) -> tuple[Any, StatsCursor]:
+        entry = self._get_tx(state, params)
+        with state.lock:
+            state.txs.pop(params.get("tx"), None)
+        return entry
+
+    # -- handlers: control plane -----------------------------------------------
+
+    def _h_hello(self, state: _ConnState,
+                 params: Mapping[str, Any]) -> dict[str, Any]:
+        theirs = params.get("protocol")
+        if theirs != protocol.PROTOCOL_VERSION:
+            raise protocol.ProtocolError(
+                f"client speaks protocol {theirs!r}, server speaks "
+                f"{protocol.PROTOCOL_VERSION}")
+        return {"protocol": protocol.PROTOCOL_VERSION,
+                "engine": self.driver.engine_name,
+                "server": self.name, "pid": os.getpid()}
+
+    def _h_ping(self, state: _ConnState,
+                params: Mapping[str, Any]) -> str:
+        delay = params.get("delay")
+        if delay:  # test hook: simulate a slow server for timeout coverage
+            time.sleep(float(delay))
+        return "pong"
+
+    def _h_create_table(self, state: _ConnState,
+                        params: Mapping[str, Any]) -> bool:
+        self.driver.create_table(protocol.decode_schema(params["schema"]))
+        return True
+
+    def _h_table_size(self, state: _ConnState,
+                      params: Mapping[str, Any]) -> int:
+        return self.driver.table_size(params["table"])
+
+    def _h_tables(self, state: _ConnState,
+                  params: Mapping[str, Any]) -> list[str]:
+        cluster = getattr(self.driver, "cluster", None)
+        if cluster is not None and hasattr(cluster, "tables"):
+            return cluster.tables()
+        return []
+
+    def _h_shutdown(self, state: _ConnState,
+                    params: Mapping[str, Any]) -> dict[str, Any]:
+        # reply first, stop after: the conn loop sends this response and
+        # the main thread (or a background stopper) runs the actual stop
+        threading.Thread(target=self._delayed_stop, daemon=True).start()
+        return {"stopping": True}
+
+    def _delayed_stop(self) -> None:
+        time.sleep(0.05)  # let the shutdown response reach the client
+        self.request_stop()
+        self.stop()
+
+    # -- handlers: transactions ------------------------------------------------
+
+    def _h_begin(self, state: _ConnState,
+                 params: Mapping[str, Any]) -> dict[str, Any]:
+        if self._draining:
+            raise ServerShutdownError(
+                f"server {self.name} is draining for shutdown")
+        hint = protocol.decode_hint(params.get("hint"))
+        # hfs: allow(HFS103, reason=server proxy: the remote client owns the transaction template; this session is its wire-side twin)
+        tx = state.session.begin(hint)
+        handle = next(self._handles)
+        with state.lock:
+            state.txs[handle] = (tx, StatsCursor())
+        return {"tx": handle, "coordinator": getattr(tx, "coordinator", -1)}
+
+    def _h_tx_read(self, state: _ConnState,
+                   params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        row = tx.read(params["table"], protocol.decode_value(params["key"]),
+                      lock=_lock_mode(params.get("lock")))
+        return {"row": protocol.encode_value(row),
+                "stats": cursor.delta(tx.stats)}
+
+    def _h_tx_read_batch(self, state: _ConnState,
+                         params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        keys = [protocol.decode_value(k) for k in params["keys"]]
+        rows = tx.read_batch(params["table"], keys,
+                             lock=_lock_mode(params.get("lock")))
+        return {"rows": [protocol.encode_value(r) for r in rows],
+                "stats": cursor.delta(tx.stats)}
+
+    def _h_tx_ppis(self, state: _ConnState,
+                   params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        rows = tx.ppis(params["table"],
+                       protocol.decode_value(params["partition_values"]),
+                       predicate=None,  # predicates filter client-side
+                       lock=_lock_mode(params.get("lock")),
+                       columns=params.get("columns"))
+        return {"rows": [protocol.encode_value(r) for r in rows],
+                "stats": cursor.delta(tx.stats)}
+
+    def _h_tx_index_scan(self, state: _ConnState,
+                         params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        rows = tx.index_scan(params["table"], params["index"],
+                             protocol.decode_value(params["values"]),
+                             predicate=None,
+                             lock=_lock_mode(params.get("lock")))
+        return {"rows": [protocol.encode_value(r) for r in rows],
+                "stats": cursor.delta(tx.stats)}
+
+    def _h_tx_full_scan(self, state: _ConnState,
+                        params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        rows = tx.full_scan(params["table"], predicate=None)
+        return {"rows": [protocol.encode_value(r) for r in rows],
+                "stats": cursor.delta(tx.stats)}
+
+    def _h_tx_insert(self, state: _ConnState,
+                     params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        tx.insert(params["table"], protocol.decode_value(params["row"]))
+        return {"stats": cursor.delta(tx.stats)}
+
+    def _h_tx_update(self, state: _ConnState,
+                     params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        tx.update(params["table"], protocol.decode_value(params["key"]),
+                  protocol.decode_value(params["changes"]))
+        return {"stats": cursor.delta(tx.stats)}
+
+    def _h_tx_write(self, state: _ConnState,
+                    params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        tx.write(params["table"], protocol.decode_value(params["row"]))
+        return {"stats": cursor.delta(tx.stats)}
+
+    def _h_tx_delete(self, state: _ConnState,
+                     params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._get_tx(state, params)
+        existed = tx.delete(params["table"],
+                            protocol.decode_value(params["key"]),
+                            must_exist=params.get("must_exist", True))
+        return {"existed": existed, "stats": cursor.delta(tx.stats)}
+
+    def _h_tx_commit(self, state: _ConnState,
+                     params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._pop_tx(state, params)
+        tx.commit()
+        return {"stats": cursor.delta(tx.stats)}
+
+    def _h_tx_abort(self, state: _ConnState,
+                    params: Mapping[str, Any]) -> dict[str, Any]:
+        tx, cursor = self._pop_tx(state, params)
+        tx.abort()
+        return {"stats": cursor.delta(tx.stats)}
+
+    # -- handlers: observability -----------------------------------------------
+
+    def _h_metrics(self, state: _ConnState,
+                   params: Mapping[str, Any]) -> dict[str, Any]:
+        meta = {"server": self.name, "pid": os.getpid(),
+                "engine": self.driver.engine_name}
+        return export.snapshot(
+            self.registry, meta=meta,
+            include_samples=params.get("include_samples", True))
+
+    def _h_flight_dump(self, state: _ConnState,
+                       params: Mapping[str, Any]) -> Optional[str]:
+        if not self.flight.ops():
+            return None
+        return self.flight.dump(reason=params.get("reason", "rpc_request"))
+
+    # -- handlers: admin / failure injection -------------------------------------
+
+    def _h_admin(self, state: _ConnState, params: Mapping[str, Any]) -> Any:
+        cluster = getattr(self.driver, "cluster", None)
+        if cluster is None:
+            raise RuntimeError(
+                f"engine {self.driver.engine_name!r} has no admin surface")
+        op = params["op"]
+        if op == "kill_node":
+            cluster.kill_node(int(params["node"]))
+            return True
+        if op == "restart_node":
+            cluster.restart_node(int(params["node"]))
+            return True
+        if op == "complete_epoch":
+            return cluster.complete_epoch()
+        if op == "local_checkpoint":
+            cluster.local_checkpoint()
+            return True
+        if op == "crash_and_recover":
+            return cluster.crash_and_recover()
+        if op == "is_available":
+            return cluster.is_available()
+        if op == "live_nodes":
+            return cluster.live_nodes()
+        if op == "partition_sizes":
+            return {str(pid): size for pid, size
+                    in cluster.partition_sizes(params["table"]).items()}
+        if op == "group_commit_stats":
+            return cluster.group_commit_stats
+        if op == "replica_snapshots":
+            return self._replica_snapshots(cluster, params["table"])
+        raise protocol.ProtocolError(f"unknown admin op {op!r}")
+
+    @staticmethod
+    def _replica_snapshots(cluster: Any, table: str) -> dict[str, Any]:
+        """Per-partition row snapshots of every live replica (tests)."""
+        schema = cluster.schema(table)
+        out: dict[str, Any] = {}
+        for pid in range(cluster.config.num_partitions):
+            replicas = []
+            for node_id in cluster._pmap.replica_nodes(pid):
+                node = cluster.datanodes[node_id]
+                if not node.alive:
+                    continue
+                rows = sorted(node.fragment(table, pid).scan(),
+                              key=schema.pk_of)
+                replicas.append([protocol.encode_value(r) for r in rows])
+            out[str(pid)] = replicas
+        return out
+
+
+# -- CLI entry point (python -m repro serve) -----------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run an ndb-server process serving the DAL over TCP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one; the chosen port "
+                             "is printed on the READY line)")
+    parser.add_argument("--name", default="ndb0",
+                        help="server name used in metrics/flight artifacts")
+    parser.add_argument("--datanodes", type=int, default=4)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--partitions-per-node", type=int, default=2)
+    parser.add_argument("--lock-timeout", type=float, default=1.2)
+    parser.add_argument("--lock-stripes", type=int, default=16)
+    parser.add_argument("--executor-threads", type=int, default=4)
+    parser.add_argument("--network-delay", type=float, default=0.0)
+    parser.add_argument("--log-flush-delay", type=float, default=0.0)
+    parser.add_argument("--serial-commit", action="store_true")
+    parser.add_argument("--drain-timeout", type=float, default=5.0)
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write a mergeable metrics snapshot here on exit")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="flight-recorder dump directory for this process")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = NDBConfig(
+        num_datanodes=args.datanodes,
+        replication=args.replication,
+        partitions_per_node=args.partitions_per_node,
+        lock_timeout=args.lock_timeout,
+        lock_stripes=args.lock_stripes,
+        executor_threads=args.executor_threads,
+        network_delay=args.network_delay,
+        log_flush_delay=args.log_flush_delay,
+        serial_commit=args.serial_commit,
+    )
+    server = NDBServer(config=config, host=args.host, port=args.port,
+                       name=args.name, drain_timeout=args.drain_timeout,
+                       metrics_path=args.metrics_json,
+                       flight_dir=args.flight_dir)
+    server.start()
+
+    def _on_signal(_signum: int, _frame: Any) -> None:
+        server.request_stop()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    print(f"{READY_PREFIX} host={server.host} port={server.port} "
+          f"pid={os.getpid()}", flush=True)
+    server.serve_until_stopped()
+    print(f"REPRO-NDB-SERVE EXIT name={args.name}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,10 +1,17 @@
-"""DAL driver parity tests: both engines satisfy the same contract."""
+"""DAL driver parity tests: every driver satisfies the same contract.
+
+The ``process`` parameter runs the whole suite against a
+:class:`~repro.dal.RemoteDriver` speaking the RPC protocol to an
+in-thread :class:`~repro.rpc.NDBServer` — the process-deployment code
+path minus the subprocess spawn (covered by ``test_rpc_process.py``).
+"""
 
 import pytest
 
-from repro.dal import MemoryDriver, NDBDriver
+from repro.dal import MemoryDriver, NDBDriver, RemoteDriver
 from repro.errors import DuplicateKeyError, NoSuchRowError
 from repro.ndb import AccessKind, LockMode, NDBConfig, TableSchema
+from repro.rpc import NDBServer
 
 SCHEMA = TableSchema(
     name="items",
@@ -14,16 +21,27 @@ SCHEMA = TableSchema(
     indexes={"by_value": ("value",)},
 )
 
+CONFIG = NDBConfig(num_datanodes=2, replication=2, lock_timeout=0.4)
 
-@pytest.fixture(params=["ndb", "memory"])
+
+@pytest.fixture(params=["ndb", "memory", "process"])
 def driver(request):
     if request.param == "ndb":
-        drv = NDBDriver(config=NDBConfig(num_datanodes=2, replication=2,
-                                         lock_timeout=0.4))
-    else:
+        drv = NDBDriver(config=CONFIG)
+        drv.create_table(SCHEMA)
+        yield drv
+    elif request.param == "memory":
         drv = MemoryDriver()
-    drv.create_table(SCHEMA)
-    return drv
+        drv.create_table(SCHEMA)
+        yield drv
+    else:
+        with NDBServer(config=CONFIG) as server:
+            drv = RemoteDriver(server.host, server.port, timeout=10.0)
+            drv.create_table(SCHEMA)
+            try:
+                yield drv
+            finally:
+                drv.close()
 
 
 def test_engine_name(driver):
