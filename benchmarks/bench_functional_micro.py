@@ -110,32 +110,77 @@ class TestTracingOverhead:
         benchmark(nn.get_file_info, "/t/dir/f")
 
 
-def measure_tracing_overhead(repeat: int = 6000) -> dict:
-    """Standalone measurement backing ``BENCH_tracing_overhead.json``."""
+def measure_tracing_overhead(repeat: int = 200, rounds: int = 60) -> dict:
+    """Standalone measurement backing ``BENCH_tracing_overhead.json``.
+
+    Estimating a ~10% effect on a shared/virtualised box needs two noise
+    sources controlled:
+
+    * **Allocator/layout bias** — separately-built namenodes end up with
+      different heap layouts, which skews per-instance cost by more than
+      the effect under test and does *not* average out over rounds. All
+      sampling rates are therefore measured against ONE namenode,
+      flipping ``tracer.sample_every`` between slices, so the object
+      graph under measurement is literally identical.
+    * **CPU-speed drift** — even process CPU time swings ±20% over
+      seconds under virtualised frequency scaling, so absolute best-of
+      minima from different moments are not comparable. Each round
+      measures an A/B/A sandwich (baseline, traced, baseline) of short
+      slices; the per-round difference ``B - (A1+A2)/2`` cancels any
+      drift that is smooth across the ~3-slice window, and the median
+      over rounds rejects the slices where it is not.
+    """
+    import gc
+    import statistics
     import time
 
-    results = {}
-    for sample_every in (0, 1, 64):
-        fs = make_hopsfs(num_namenodes=1,
-                         trace_sample_every=sample_every)
-        nn = fs.namenodes[0]
-        nn.mkdirs("/t/dir")
-        nn.create("/t/dir/f")
-        for _ in range(repeat // 10):  # warm hint cache + allocator
+    fs = make_hopsfs(num_namenodes=1, trace_sample_every=1)
+    nn = fs.namenodes[0]
+    nn.mkdirs("/t/dir")
+    nn.create("/t/dir/f")
+    tracer = nn.tracer
+    rates = (0, 1, 64)
+    for sample_every in rates:  # warm hint cache + every sampling path
+        tracer.sample_every = sample_every
+        for _ in range(400):
             nn.get_file_info("/t/dir/f")
-        t0 = time.perf_counter()
+
+    def timed_slice(sample_every: int) -> float:
+        tracer.sample_every = sample_every
+        t0 = time.process_time()
         for _ in range(repeat):
             nn.get_file_info("/t/dir/f")
-        per_op = (time.perf_counter() - t0) / repeat
-        results[str(sample_every)] = round(per_op * 1e6, 2)
-    base = results["0"]
+        return (time.process_time() - t0) / repeat * 1e6
+
+    deltas = {se: [] for se in rates if se != 0}
+    bases = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            for sample_every in deltas:
+                a1 = timed_slice(0)
+                b = timed_slice(sample_every)
+                a2 = timed_slice(0)
+                deltas[sample_every].append(b - (a1 + a2) / 2)
+                bases.append((a1 + a2) / 2)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    base = statistics.median(bases)
+    delta_full = statistics.median(deltas[1])
+    delta_64 = statistics.median(deltas[64])
+    results = {"0": round(base, 2),
+               "1": round(base + delta_full, 2),
+               "64": round(base + delta_64, 2)}
     return {
-        "workload": {"op": "stat (warm hint cache)", "repeat": repeat},
+        "workload": {"op": "stat (warm hint cache)", "repeat": repeat,
+                     "rounds": rounds,
+                     "method": "median paired A/B/A CPU-time difference, "
+                               "single shared namenode"},
         "us_per_op_by_sample_every": results,
-        "overhead_pct_full_tracing": round(
-            (results["1"] / base - 1.0) * 100.0, 1),
-        "overhead_pct_sampled_64": round(
-            (results["64"] / base - 1.0) * 100.0, 1),
+        "overhead_pct_full_tracing": round(delta_full / base * 100.0, 1),
+        "overhead_pct_sampled_64": round(delta_64 / base * 100.0, 1),
     }
 
 
@@ -147,9 +192,10 @@ def main() -> int:
         description="Measure tracing overhead at sample_every 0/1/64")
     parser.add_argument("--json", metavar="PATH",
                         default="BENCH_tracing_overhead.json")
-    parser.add_argument("--repeat", type=int, default=6000)
+    parser.add_argument("--repeat", type=int, default=200)
+    parser.add_argument("--rounds", type=int, default=60)
     args = parser.parse_args()
-    report = measure_tracing_overhead(args.repeat)
+    report = measure_tracing_overhead(args.repeat, args.rounds)
     for rate, us in report["us_per_op_by_sample_every"].items():
         print(f"sample_every={rate:>2}: {us:8.2f} µs/op")
     print(f"full-tracing overhead: "

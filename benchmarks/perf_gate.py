@@ -11,12 +11,21 @@ The benchmark kind is inferred from the baseline's shape:
 * ``speedup_at_8_threads`` — the engine comparison
   (``bench_engine_parallelism.py``, sequential vs parallel engine);
 * ``scaling_8_to_16`` — the deployment comparison
-  (``--deploy process``, embedded vs ndb-server processes).
+  (``--deploy process``, embedded vs ndb-server processes);
+* ``round_trips_per_stat`` — the hot-path cost program
+  (``bench_hotpath.py``): throughput cells gate like the others, and
+  each cell's measured db round trips per stat must not exceed the
+  committed value (round trips are deterministic, so no tolerance);
+* ``overhead_pct_full_tracing`` — the tracing-overhead measurement
+  (``bench_functional_micro.py``): overheads are lower-is-better and
+  gate against the committed value plus ``--tracing-margin`` percentage
+  points (the measurement itself is noisy, the margin absorbs that).
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_gate.py \
-        BENCH_engine_parallelism.json BENCH_process_deploy.json
+        BENCH_engine_parallelism.json BENCH_process_deploy.json \
+        BENCH_hotpath.json BENCH_tracing_overhead.json
 
 Both workloads are sleep-dominated by design (simulated network and log
 delays), so cell values are largely machine-independent and a committed
@@ -27,13 +36,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import bench_engine_parallelism as bench
 
 #: gate op counts mirror the committed baselines' op counts so the
 #: comparison is like-for-like, not smoke-vs-full
-GATE_OPS = {"engine": 400, "deploy": 240}
+GATE_OPS = {"engine": 400, "deploy": 240, "hotpath": 1600}
+#: lighter-than-committed tracing measurement (the gate has a margin)
+TRACING_GATE = dict(repeat=150, rounds=40)
 
 
 def baseline_kind(data: dict) -> str:
@@ -41,16 +53,31 @@ def baseline_kind(data: dict) -> str:
         return "engine"
     if "scaling_8_to_16" in data:
         return "deploy"
+    if "round_trips_per_stat" in data:
+        return "hotpath"
+    if "overhead_pct_full_tracing" in data:
+        return "tracing"
     raise SystemExit("unrecognized baseline shape: expected a "
-                     "BENCH_engine_parallelism or BENCH_process_deploy "
-                     "style report")
+                     "BENCH_engine_parallelism, BENCH_process_deploy, "
+                     "BENCH_hotpath or BENCH_tracing_overhead style "
+                     "report")
 
 
 def run_current(kind: str, ops: int | None) -> dict:
-    total_ops = ops if ops else GATE_OPS[kind]
+    total_ops = ops if ops else GATE_OPS.get(kind, 0)
     if kind == "engine":
         return bench.run_benchmark(total_ops)
-    return bench.run_deploy_benchmark(total_ops)
+    if kind == "deploy":
+        return bench.run_deploy_benchmark(total_ops)
+    if kind == "hotpath":
+        import bench_hotpath
+        return bench_hotpath.run_benchmark(total_ops)
+    # tracing: bench_functional_micro imports tests.conftest, so the
+    # repo root must be importable alongside benchmarks/
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    import bench_functional_micro
+    return bench_functional_micro.measure_tracing_overhead(**TRACING_GATE)
 
 
 def compare(name: str, baseline: dict, current: dict,
@@ -84,17 +111,71 @@ def compare(name: str, baseline: dict, current: dict,
     return rows, failures
 
 
+def compare_round_trips(name: str, baseline: dict,
+                        current: dict) -> list[str]:
+    """Gate db round trips per stat: deterministic, so no tolerance."""
+    failures: list[str] = []
+    for cell, base_rt in sorted(baseline["round_trips_per_stat"].items()):
+        cur_rt = current["round_trips_per_stat"].get(cell)
+        if cur_rt is None:
+            failures.append(f"{name}: round_trips_per_stat[{cell}] "
+                            "missing from the current run")
+        elif cur_rt > base_rt + 1e-9:
+            failures.append(
+                f"{name}: round_trips_per_stat[{cell}] regressed "
+                f"{base_rt:.2f} -> {cur_rt:.2f} (budgets are exact; a "
+                "redundant read crept back onto the hot path)")
+    return failures
+
+
+def compare_tracing(name: str, baseline: dict, current: dict,
+                    margin_pts: float) -> tuple[list[dict], list[str]]:
+    """Gate tracing overheads (lower is better, margin in pct points)."""
+    rows: list[dict] = []
+    failures: list[str] = []
+    for key in ("overhead_pct_full_tracing", "overhead_pct_sampled_64"):
+        base_pct = baseline[key]
+        cur_pct = current[key]
+        ceiling = base_pct + margin_pts
+        ok = cur_pct <= ceiling
+        rows.append({"bench": name, "metric": key,
+                     "baseline_pct": base_pct, "current_pct": cur_pct,
+                     "ceiling_pct": round(ceiling, 1), "ok": ok})
+        if not ok:
+            failures.append(
+                f"{name}: {key} regressed {base_pct:+.1f}% -> "
+                f"{cur_pct:+.1f}% (ceiling {ceiling:+.1f}%)")
+    return rows, failures
+
+
 def print_rows(rows: list[dict]) -> None:
-    print(f"{'bench':>8} | {'config':>10} | {'thr':>4} | "
+    print(f"{'bench':>8} | {'config':>18} | {'thr':>4} | "
           f"{'baseline':>9} | {'current':>9} | {'delta':>7} | gate")
-    print("-" * 66)
+    print("-" * 74)
     for r in rows:
-        print(f"{r['bench']:>8} | {r['config']:>10} | {r['threads']:>4} | "
+        print(f"{r['bench']:>8} | {r['config']:>18} | {r['threads']:>4} | "
               f"{r['baseline_ops']:>9.1f} | {r['current_ops']:>9.1f} | "
               f"{r['delta_pct']:>+6.1f}% | {'ok' if r['ok'] else 'FAIL'}")
 
 
-def main() -> int:
+def print_tracing_rows(rows: list[dict]) -> None:
+    for r in rows:
+        print(f"  {r['metric']}: baseline {r['baseline_pct']:+.1f}%  "
+              f"current {r['current_pct']:+.1f}%  "
+              f"ceiling {r['ceiling_pct']:+.1f}%  "
+              f"{'ok' if r['ok'] else 'FAIL'}")
+
+
+def load_baseline(path: str) -> dict | None:
+    """Parsed baseline, or None when the file does not exist yet."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baselines", nargs="+", metavar="BENCH.json",
                         help="committed baseline report(s) to gate against")
@@ -109,15 +190,33 @@ def main() -> int:
                              "(absorbs scheduler noise, default 3)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the gate report as JSON to PATH")
-    args = parser.parse_args()
+    parser.add_argument("--tracing-margin", type=float, default=5.0,
+                        help="allowed tracing-overhead regression in "
+                             "percentage points (default 5.0)")
+    args = parser.parse_args(argv)
 
     all_rows: list[dict] = []
     all_failures: list[str] = []
+    missing: list[str] = []
     for path in args.baselines:
-        with open(path, encoding="utf-8") as fh:
-            baseline = json.load(fh)
+        baseline = load_baseline(path)
+        if baseline is None:
+            print(f"== {path} ==")
+            print(f"  baseline not found; run its benchmark with "
+                  f"--json {path} and commit the result\n")
+            missing.append(path)
+            continue
         kind = baseline_kind(baseline)
         print(f"== {path} ({kind} benchmark) ==")
+        if kind == "tracing":
+            current = run_current(kind, args.ops)
+            rows, failures = compare_tracing(path, baseline, current,
+                                             args.tracing_margin)
+            print_tracing_rows(rows)
+            print()
+            all_rows.extend(rows)
+            all_failures.extend(failures)
+            continue
         best = run_current(kind, args.ops)
         rows, failures = compare(kind, baseline, best, args.tolerance)
         attempt = 1
@@ -131,7 +230,13 @@ def main() -> int:
             for config, cells in best["ops_per_second"].items():
                 for threads, ops in rerun["ops_per_second"][config].items():
                     cells[threads] = max(cells.get(threads, 0.0), ops)
+            if "round_trips_per_stat" in best:
+                for cell, rt in rerun["round_trips_per_stat"].items():
+                    best["round_trips_per_stat"][cell] = min(
+                        best["round_trips_per_stat"].get(cell, rt), rt)
             rows, failures = compare(kind, baseline, best, args.tolerance)
+        if "round_trips_per_stat" in baseline:
+            failures += compare_round_trips(path, baseline, best)
         print_rows(rows)
         print()
         all_rows.extend(rows)
@@ -142,7 +247,8 @@ def main() -> int:
             "tolerance": args.tolerance,
             "cells": all_rows,
             "failures": all_failures,
-            "passed": not all_failures,
+            "missing_baselines": missing,
+            "passed": not all_failures and not missing,
         }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -154,6 +260,9 @@ def main() -> int:
         for failure in all_failures:
             print(f"  - {failure}")
         return 1
+    if missing:
+        print("PERF GATE: missing baseline(s): " + ", ".join(missing))
+        return 2
     print(f"perf gate passed: {len(all_rows)} cells within "
           f"{args.tolerance:.0%} of baseline")
     return 0

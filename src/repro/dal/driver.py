@@ -35,7 +35,9 @@ class DALTransaction(Protocol):
     def read(self, table: str, key: Any, lock: LockMode = ...) -> Optional[dict]: ...
 
     def read_batch(self, table: str, keys: Sequence[Any],
-                   lock: LockMode = ...) -> list[Optional[dict]]: ...
+                   lock: LockMode = ...,
+                   locks: Optional[Sequence[LockMode]] = ...,
+                   ) -> list[Optional[dict]]: ...
 
     def ppis(self, table: str, partition_values: Mapping[str, Any],
              predicate: Any = ..., lock: LockMode = ...,

@@ -79,8 +79,9 @@ class MemorySession:
             retries: int = 5) -> T:
         tx = self.begin(hint)
         try:
-            with span("execute"):
-                result = fn(tx)
+            # no "execute" span: the single attempt is implicit and its
+            # execute time is the trace root's self time (attempt_span)
+            result = fn(tx)
             if tx.active:
                 tx.commit()  # emits its own "commit" span
             self.stats.merge(tx.stats)
@@ -140,13 +141,22 @@ class MemoryTransaction:
         return row
 
     def read_batch(self, table: str, keys: Sequence[Any],
-                   lock: LockMode = LockMode.READ_COMMITTED) -> list[Optional[dict]]:
+                   lock: LockMode = LockMode.READ_COMMITTED,
+                   locks: Optional[Sequence[LockMode]] = None,
+                   ) -> list[Optional[dict]]:
         self._check()
         schema = self._driver.schema(table)
+        if locks is not None and len(locks) != len(keys):
+            raise SchemaError(
+                f"locks must parallel keys: {len(locks)} != {len(keys)}")
         rows = [self._current(table, schema.pk_tuple(key)) for key in keys]
+        if locks is not None:
+            locked = any(m is not LockMode.READ_COMMITTED for m in locks)
+        else:
+            locked = lock is not LockMode.READ_COMMITTED
         self._record(AccessKind.BATCH_PK, table,
                      sum(1 for r in rows if r is not None),
-                     locked=lock is not LockMode.READ_COMMITTED)
+                     locked=locked)
         return rows
 
     def _scan(self, table: str, predicate: Predicate) -> list[dict]:

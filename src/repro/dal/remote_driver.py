@@ -55,7 +55,8 @@ from repro.errors import (
     RequestTimeoutError,
     TransactionAbortedError,
 )
-from repro.metrics.tracing import add_event, current_registry, span
+from repro.metrics.tracing import (add_event, attempt_span, current_registry,
+                                   span)
 from repro.ndb.locks import LockMode
 from repro.ndb.schema import TableSchema
 from repro.ndb.stats import AccessStats
@@ -157,12 +158,16 @@ class RemoteTransaction:
         return protocol.decode_value(result["row"])
 
     def read_batch(self, table: str, keys: Sequence[Any],
-                   lock: LockMode = LockMode.READ_COMMITTED
+                   lock: LockMode = LockMode.READ_COMMITTED,
+                   locks: Optional[Sequence[LockMode]] = None,
                    ) -> list[Optional[dict[str, Any]]]:
-        result = self._call("tx.read_batch", {
+        params = {
             "table": table,
             "keys": [protocol.encode_value(k) for k in keys],
-            "lock": lock.name})
+            "lock": lock.name}
+        if locks is not None:
+            params["locks"] = [m.name for m in locks]
+        result = self._call("tx.read_batch", params)
         return [protocol.decode_value(r) for r in result["rows"]]
 
     def ppis(self, table: str, partition_values: Mapping[str, Any],
@@ -316,7 +321,8 @@ class RemoteSession:
         for attempt in range(max(1, retries)):
             tx = self._driver._begin(hint)
             try:
-                with span("execute", attempt=attempt):
+                # attempt 0 is implicit (execute = root self time)
+                with attempt_span(attempt):
                     result = fn(tx)
                 if tx.state is TxState.ACTIVE:
                     tx.commit()
@@ -348,6 +354,7 @@ class RemoteDriver(DALDriver):
     """DAL driver speaking the RPC protocol to one ndb-server process."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 unix_path: Optional[str] = None,
                  timeout: Optional[float] = 30.0,
                  connect_timeout: float = 5.0,
                  max_reconnect_attempts: int = 5,
@@ -357,6 +364,9 @@ class RemoteDriver(DALDriver):
                  client_name: str = "remote-dal") -> None:
         self.host = host
         self.port = port
+        #: connect over AF_UNIX instead of TCP when set (same-host
+        #: deployments skip the loopback TCP stack entirely)
+        self.unix_path = unix_path
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.max_reconnect_attempts = max_reconnect_attempts
@@ -380,7 +390,8 @@ class RemoteDriver(DALDriver):
                 time.sleep(backoff)
                 backoff *= 2
             try:
-                sock = dial(self.host, self.port, timeout=self.timeout,
+                sock = dial(self.host, self.port, unix_path=self.unix_path,
+                            timeout=self.timeout,
                             connect_timeout=self.connect_timeout)
             except OSError as exc:
                 last_exc = exc
@@ -395,8 +406,10 @@ class RemoteDriver(DALDriver):
                 raise
             self._server_info = info
             return conn
+        where = (self.unix_path if self.unix_path is not None
+                 else f"{self.host}:{self.port}")
         raise ConnectionClosedError(
-            f"cannot reach server at {self.host}:{self.port} after "
+            f"cannot reach server at {where} after "
             f"{self.max_reconnect_attempts} attempts: {last_exc}")
 
     def _checkout(self) -> ClientConn:
@@ -487,7 +500,9 @@ class RemoteDriver(DALDriver):
         if self._server_info is None:
             self._call("ping", idempotent=True)  # dials + hellos
         info = self._server_info or {}
-        return (f"remote({self.host}:{self.port}, "
+        where = (self.unix_path if self.unix_path is not None
+                 else f"{self.host}:{self.port}")
+        return (f"remote({where}, "
                 f"server={info.get('server', '?')}, "
                 f"engine={info.get('engine', '?')})")
 

@@ -25,6 +25,11 @@ class HopsFSConfig:
     default_replication: int = 3
     #: block size in bytes (only matters for block allocation accounting)
     block_size: int = 128 * 1024 * 1024
+    #: lock the parent/last path components inside the batched resolve
+    #: read itself (one round trip) instead of re-reading each locked row
+    #: afterwards; False reproduces the re-read resolver (benchmark
+    #: baseline knob)
+    resolver_coalesced_locking: bool = True
     #: inodes deleted/updated per transaction in subtree operations
     subtree_batch_size: int = 64
     #: worker threads quiescing / executing subtree operations in parallel

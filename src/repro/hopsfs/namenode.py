@@ -54,7 +54,8 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
             missed_heartbeats=config.nn_missed_heartbeats)
         self.resolver = PathResolver(
             self.hint_cache, config.random_partition_depth,
-            is_namenode_dead=self._is_namenode_dead)
+            is_namenode_dead=self._is_namenode_dead,
+            coalesced_locking=config.resolver_coalesced_locking)
         self.id_alloc = IdAllocator(driver.session(), "inodes",
                                     batch=config.id_batch_size)
         self.block_alloc = IdAllocator(driver.session(), "blocks",
@@ -144,7 +145,7 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         """
         if not self.alive:
             raise NameNodeUnavailableError(f"namenode {self.nn_id} is down")
-        seconds, total = self._hot_op_metrics(op_name)
+        seconds, total, _round_trips = self._hot_op_metrics(op_name)
         record = self.flight.begin(op_name)
         started = time.perf_counter()
         trace = None
@@ -169,12 +170,13 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         """Keep failed, retried and slow traces in the flight recorder."""
         if (trace.error is not None
                 or trace.duration >= self.config.slow_op_threshold
-                or len(trace.spans("execute")) > 1
-                or trace.events("tx_retry")):
+                or trace.execute_attempts > 1
+                or trace.retry_events):
             self.flight.keep_trace(trace)
 
     def _hot_op_metrics(self, op_name: str) -> tuple:
-        """Cached (latency histogram, success counter) for one op name."""
+        """Cached (latency histogram, success counter, round-trip
+        histogram) for one op name."""
         metrics = self._op_metrics.get(op_name)
         if metrics is None:
             with self._op_metrics_lock:
@@ -182,7 +184,9 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
                 if metrics is None:
                     metrics = (
                         self.metrics.histogram("fs_op_seconds", op=op_name),
-                        self.metrics.counter("fs_op_total", op=op_name))
+                        self.metrics.counter("fs_op_total", op=op_name),
+                        self.metrics.histogram("db_op_round_trips",
+                                               op=op_name))
                     self._op_metrics[op_name] = metrics
         return metrics
 
@@ -231,6 +235,9 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
         round_trips, read, written, locked, hops = self._db_counters
         if stats.round_trips:
             round_trips.inc(stats.round_trips)
+            # per-op round-trip distribution: the budget view the cost
+            # program gates on (docs/performance.md)
+            self._hot_op_metrics(op_name)[2].observe(stats.round_trips)
         if stats.rows_read:
             read.inc(stats.rows_read)
         if stats.rows_written:

@@ -33,6 +33,7 @@ from repro.hopsfs import quota as quota_mod
 from repro.hopsfs import schema as fs_schema
 from repro.hopsfs.paths import join_path, split_path
 from repro.hopsfs.tx import ResolvedPath, root_row
+from repro.metrics.tracing import span
 from repro.hopsfs.types import (
     BlockLocation,
     ContentSummary,
@@ -600,9 +601,14 @@ class InodeOpsMixin:
             }.items(),
             key=lambda item: item[1],
         )
-        locked: dict[tuple, Optional[dict]] = {}
-        for pk, _order_key in lock_plan:
-            locked[pk] = tx.read("inodes", pk, lock=LockMode.EXCLUSIVE)
+        # one locked batched read: the lock phase walks the pks in the
+        # same path order, one stripe-grouped acquisition pass and one
+        # round trip instead of four
+        plan_pks = [pk for pk, _order_key in lock_plan]
+        with span("lock", rows=len(plan_pks)):
+            plan_rows = tx.read_batch("inodes", plan_pks,
+                                      lock=LockMode.EXCLUSIVE)
+        locked: dict[tuple, Optional[dict]] = dict(zip(plan_pks, plan_rows))
         src_row = locked[self._row_pk(src_row)]
         if src_row is None or src_row["id"] != src_resolved.last["id"]:
             raise FileNotFoundError_(src)  # raced; client may retry

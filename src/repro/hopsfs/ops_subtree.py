@@ -332,8 +332,8 @@ class SubtreeOpsMixin:
             # quota/xattr rows deleted below (§5.2.1), so once the first
             # pass completes no other transaction can contend on them.
             ordered = sorted(nodes, key=lambda n: n.pk)
-            for node in ordered:
-                tx.read("inodes", node.pk, lock=LockMode.EXCLUSIVE)
+            tx.read_batch("inodes", [node.pk for node in ordered],
+                          lock=LockMode.EXCLUSIVE)
             for node in ordered:
                 if not node.is_dir:
                     blk.remove_file_blocks(tx, node.id)

@@ -34,6 +34,7 @@ from repro.errors import (
     FileSystemError,
     ParentNotDirectoryError,
     SubtreeLockedError,
+    TransactionAbortedError,
 )
 from repro.dal.driver import DALSession, DALTransaction
 from repro.hopsfs import schema as fs_schema
@@ -54,6 +55,19 @@ class StaleSubtreeLockError(FileSystemError):
         super().__init__(f"stale subtree lock owned by dead namenode {owner}")
         self.inode_pk = inode_pk
         self.owner = owner
+
+
+class StalePathHintError(TransactionAbortedError):
+    """A locked batched resolve validated a hint as stale (paper §5.3).
+
+    With coalesced resolver locking the parent/last locks are taken on
+    hint-derived primary keys inside the batched read itself; when
+    validation then finds a hint stale the transaction holds a lock on a
+    key the path no longer maps to, so the only safe move is to abort and
+    retry with the (now invalidated) hint repaired. Subclassing
+    :class:`TransactionAbortedError` makes every session's retry loop
+    handle it transparently; clients never see this error.
+    """
 
 
 def root_row(children_random: bool = True) -> dict:
@@ -134,10 +148,16 @@ class PathResolver:
     """Per-namenode resolver owning the inode hint cache."""
 
     def __init__(self, cache: InodeHintCache, random_depth: int,
-                 is_namenode_dead: Callable[[int], bool]) -> None:
+                 is_namenode_dead: Callable[[int], bool],
+                 coalesced_locking: bool = True) -> None:
         self._cache = cache
         self._random_depth = random_depth
         self._is_namenode_dead = is_namenode_dead
+        #: lock the parent/last components inside the batched resolve
+        #: read itself (one round trip) instead of re-reading each locked
+        #: row individually afterwards; False reproduces the re-read
+        #: resolver (benchmark baseline knob)
+        self._coalesced_locking = coalesced_locking
         self.batched_resolutions = 0
         self.recursive_resolutions = 0
 
@@ -172,41 +192,28 @@ class PathResolver:
                                 root=self.root_row())
         if not components:
             return resolved
+        coalesce = self._coalesced_locking and (
+            lock_last is not LockMode.READ_COMMITTED
+            or lock_parent is not LockMode.READ_COMMITTED)
         batched_before = self.batched_resolutions
         with span("resolve", depth=len(components)) as resolve_span:
-            rows = self._resolve_prefix(tx, components)
+            rows, locked = self._resolve_prefix(
+                tx, components,
+                lock_last=lock_last if coalesce else LockMode.READ_COMMITTED,
+                lock_parent=(lock_parent if coalesce
+                             else LockMode.READ_COMMITTED))
             if resolve_span is not None:
-                resolve_span.labels["method"] = (
+                resolve_span.set_label(
+                    "method",
                     "batched" if self.batched_resolutions > batched_before
                     else "recursive")
-        # Re-read the components that need locks at the required strength,
-        # in root-down order (parent first, then last).
-        n = len(components)
-        with span("lock", last=lock_last.value, parent=lock_parent.value):
-            if (n >= 2 and lock_parent is not LockMode.READ_COMMITTED
-                    and len(rows) >= n - 1):
-                parent_row = rows[n - 2]
-                if parent_row is not None:
-                    rows[n - 2] = self._reread_locked(tx, parent_row,
-                                                      lock_parent)
-            if lock_last is not LockMode.READ_COMMITTED and len(rows) == n:
-                last_row = rows[n - 1]
-                if last_row is not None:
-                    rows[n - 1] = self._reread_locked(tx, last_row, lock_last)
-            elif (lock_last is not LockMode.READ_COMMITTED
-                    and len(rows) == n - 1):
-                # Path missing only its last component: lock the (future) pk
-                # so concurrent creates of the same name serialize.
-                parent_row = rows[n - 2] if n >= 2 else self.root_row()
-                if parent_row is not None:
-                    part_key = self.child_part_key(
-                        parent_row["children_random"], parent_row["id"],
-                        components[-1])
-                    locked = tx.read(
-                        "inodes",
-                        (part_key, parent_row["id"], components[-1]),
-                        lock=lock_last)
-                    rows.append(locked)  # may now exist (raced create)
+        if not locked and (lock_last is not LockMode.READ_COMMITTED
+                           or lock_parent is not LockMode.READ_COMMITTED):
+            # Re-read the components that need locks at the required
+            # strength, in root-down order (parent first, then last).
+            with span("lock", last=lock_last.value, parent=lock_parent.value):
+                self._lock_resolved(tx, components, rows, lock_last,
+                                    lock_parent)
         resolved.rows = rows
         if check_subtree_locks:
             self._check_subtree_locks(resolved)
@@ -218,15 +225,25 @@ class PathResolver:
                 )
         return resolved
 
-    def _resolve_prefix(self, tx: DALTransaction,
-                        components: list[str]) -> list[Optional[dict]]:
-        """Resolve every component at read-committed, batched if possible.
+    def _resolve_prefix(self, tx: DALTransaction, components: list[str],
+                        lock_last: LockMode = LockMode.READ_COMMITTED,
+                        lock_parent: LockMode = LockMode.READ_COMMITTED,
+                        ) -> tuple[list[Optional[dict]], bool]:
+        """Resolve every component, batched if possible.
 
         A path whose components are all hinted costs one batched read.
         When only the *last* component is unhinted — the normal case for
         creates, whose target does not exist yet — the hinted prefix is
         still fetched in one batch ("up to the penultimate inode",
         Fig. 4 line 3) and the last component costs one extra PK read.
+
+        With lock modes given (coalesced locking), the batch itself locks
+        the parent/last keys — root-down key order, so the lock phase
+        follows the global total order — and the second element of the
+        returned tuple reports that no locked re-reads remain. A hint
+        found stale by a *locked* batch raises
+        :class:`StalePathHintError` (retry with the hint repaired); the
+        lock-free resolve keeps falling back in-transaction.
         """
         hints = []
         parent_id = fs_schema.ROOT_ID
@@ -236,12 +253,37 @@ class PathResolver:
                 break
             hints.append((depth, parent_id, name, hint))
             parent_id = hint.inode_id
-        if len(hints) >= len(components) - 1:
-            rows = self._batched_resolve(tx, components, hints)
+        n = len(components)
+        want_locks = (lock_last is not LockMode.READ_COMMITTED
+                      or lock_parent is not LockMode.READ_COMMITTED)
+        if len(hints) >= n - 1:
+            locks = None
+            if want_locks and hints:
+                locks = [LockMode.READ_COMMITTED] * len(hints)
+                if n >= 2:
+                    locks[n - 2] = lock_parent
+                if len(hints) == n:
+                    locks[n - 1] = lock_last
+            rows = self._batched_resolve(tx, components, hints, locks=locks)
             if rows is not None:
-                if len(rows) == len(components) - 1:
+                if len(rows) == n - 1:
                     parent = rows[-1] if rows else self.root_row()
-                    if parent is not None and parent["is_dir"]:
+                    if parent is None:
+                        pass
+                    elif (want_locks
+                            and lock_last is not LockMode.READ_COMMITTED):
+                        # Lock the last key (existing or future) in the
+                        # same read that fetches it: serializes raced
+                        # creates of the same name without a re-read.
+                        last = self.lookup_child(tx, parent, components[-1],
+                                                 lock=lock_last)
+                        rows.append(last)
+                        if last is not None:
+                            self._cache.put(parent["id"], components[-1],
+                                            last["id"], last["part_key"],
+                                            last["is_dir"],
+                                            last["children_random"])
+                    elif parent["is_dir"]:
                         last = self.lookup_child(tx, parent, components[-1])
                         if last is not None:
                             rows.append(last)
@@ -250,24 +292,35 @@ class PathResolver:
                                             last["is_dir"],
                                             last["children_random"])
                 self.batched_resolutions += 1
-                return rows
+                return rows, want_locks
         self.recursive_resolutions += 1
-        return self._recursive_resolve(tx, components)
+        return self._recursive_resolve(tx, components), False
 
     def _batched_resolve(self, tx: DALTransaction, components: list[str],
-                         hints: list) -> Optional[list[Optional[dict]]]:
-        """One batched PK read for the hinted prefix; None on stale hints."""
+                         hints: list,
+                         locks: Optional[list[LockMode]] = None,
+                         ) -> Optional[list[Optional[dict]]]:
+        """One batched PK read for the hinted prefix; None on stale hints.
+
+        With ``locks`` the batch also acquires the per-key locks; a stale
+        hint then raises :class:`StalePathHintError` instead of returning
+        None, because a lock already sits on a hint-derived key.
+        """
         if not hints:
             return []
         keys = [
             (hint.part_key, parent_id, name)
             for (_depth, parent_id, name, hint) in hints
         ]
-        rows = tx.read_batch("inodes", keys, lock=LockMode.READ_COMMITTED)
+        rows = tx.read_batch("inodes", keys, locks=locks)
         for (_depth, parent_id, name, hint), row in zip(hints, rows,
                                                         strict=True):
             if row is None or row["id"] != hint.inode_id:
                 self._cache.invalidate(parent_id, name)
+                if locks is not None and any(
+                        m is not LockMode.READ_COMMITTED for m in locks):
+                    raise StalePathHintError(
+                        f"stale inode hint for {name!r} under lock; retrying")
                 return None
         return list(rows)
 
@@ -300,10 +353,54 @@ class PathResolver:
                                        parent_row["id"], name)
         return tx.read("inodes", (part_key, parent_row["id"], name), lock=lock)
 
-    def _reread_locked(self, tx: DALTransaction, row: dict,
-                       lock: LockMode) -> Optional[dict]:
-        return tx.read("inodes", (row["part_key"], row["parent_id"], row["name"]),
-                       lock=lock)
+    def _lock_resolved(self, tx: DALTransaction, components: list[str],
+                       rows: list[Optional[dict]], lock_last: LockMode,
+                       lock_parent: LockMode) -> None:
+        """Re-read the parent/last components at lock strength, root-down.
+
+        Mutates ``rows`` in place. Coalesced locking folds the (at most
+        two) locked re-reads into one batched read; the legacy resolver
+        issues one PK read per locked component.
+        """
+        n = len(components)
+        want: list[tuple[int, tuple, LockMode]] = []
+        if (n >= 2 and lock_parent is not LockMode.READ_COMMITTED
+                and len(rows) >= n - 1 and rows[n - 2] is not None):
+            parent_row = rows[n - 2]
+            want.append((n - 2, (parent_row["part_key"],
+                                 parent_row["parent_id"],
+                                 parent_row["name"]), lock_parent))
+        if lock_last is not LockMode.READ_COMMITTED:
+            if len(rows) == n and rows[n - 1] is not None:
+                last_row = rows[n - 1]
+                want.append((n - 1, (last_row["part_key"],
+                                     last_row["parent_id"],
+                                     last_row["name"]), lock_last))
+            elif len(rows) == n - 1:
+                # Path missing only its last component: lock the (future)
+                # pk so concurrent creates of the same name serialize.
+                # The pk is derived from the parent's immutable partition
+                # rule and id, so it is valid even before the parent lock
+                # lands.
+                parent_row = rows[n - 2] if n >= 2 else self.root_row()
+                if parent_row is not None:
+                    part_key = self.child_part_key(
+                        parent_row["children_random"], parent_row["id"],
+                        components[-1])
+                    want.append((n - 1, (part_key, parent_row["id"],
+                                         components[-1]), lock_last))
+        if not want:
+            return
+        if self._coalesced_locking and len(want) > 1:
+            fresh = tx.read_batch("inodes", [pk for _i, pk, _m in want],
+                                  locks=[m for _i, _pk, m in want])
+        else:
+            fresh = [tx.read("inodes", pk, lock=m) for _i, pk, m in want]
+        for (index, _pk, _m), row in zip(want, fresh):
+            if index < len(rows):
+                rows[index] = row
+            else:
+                rows.append(row)  # may now exist (raced create)
 
     def _check_subtree_locks(self, resolved: ResolvedPath) -> None:
         for i, row in enumerate(resolved.rows):

@@ -39,6 +39,20 @@ def _label_items(labels: dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def handle_cache(registry: "MetricsRegistry") -> dict:
+    """The registry's memo dict for hot paths caching live metric handles.
+
+    The convenience :meth:`MetricsRegistry.inc`/:meth:`~MetricsRegistry.observe`
+    helpers pay a label-canonicalization plus a locked dict lookup on
+    every call; a hot path that fires per database round trip caches the
+    live :class:`CounterMetric`/:class:`HistogramMetric` object here
+    under its own cheap key instead. Entries live as long as the
+    registry. Plain-dict races under the GIL are benign: the registry's
+    own get-or-create guarantees both racers receive the same metric.
+    """
+    return registry._handles
+
+
 class CounterMetric:
     """A monotonically increasing value."""
 
@@ -167,6 +181,8 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, LabelItems], CounterMetric] = {}
         self._gauges: dict[tuple[str, LabelItems], GaugeMetric] = {}
         self._histograms: dict[tuple[str, LabelItems], HistogramMetric] = {}
+        #: hot-path metric-handle memo, handed out by :func:`handle_cache`
+        self._handles: dict = {}
 
     # -- get-or-create ---------------------------------------------------------
 

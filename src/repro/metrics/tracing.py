@@ -55,21 +55,51 @@ from repro.metrics.registry import MetricsRegistry
 #: span names treated as exclusive phases when aggregating (see
 #: :meth:`Trace.phases`); ``execute`` contributes *self* time only.
 PHASE_SPANS = ("resolve", "lock", "execute", "commit", "lock_wait")
+_PHASE_SET = frozenset(PHASE_SPANS)
 
-# Per-thread trace binding:
-#   .trace     — Optional[Trace] currently recording on this thread
-#   .stack     — list[Span] live span stack for this thread's binding
-#   .registry  — Optional[MetricsRegistry] for db-layer metric folds
-#   .link      — Optional[str] root trace id of the logical op group
-#   .link_scopes — int, depth of active link_scope() blocks
-_ACTIVE = threading.local()
+#: shared empty-children sentinel (see ``Span.__init__``)
+_NO_CHILDREN: tuple = ()
+
+#: one immutable (trace, stack, registry, link) binding shared by every
+#: thread that has never entered a trace/registry context
+_EMPTY_BIND: tuple = (None, None, None, None)
+
+
+class _ThreadBinding(threading.local):
+    """Per-thread trace binding.
+
+    The whole binding lives in ONE ``bind`` tuple — ``(trace, span
+    stack, registry, link)`` — so entering/leaving a trace is a single
+    thread-local read plus a single write instead of four of each;
+    thread-local attribute traffic is a measurable slice of per-span
+    cost on hot paths. The class attributes double as per-thread
+    defaults: a plain ``threading.local()`` makes every read of a
+    never-set attribute pay CPython's raise-and-catch ``AttributeError``
+    path inside ``getattr`` (~10x the cost of a hit), and fields like
+    ``link_scopes`` are never written on most threads. With class-level
+    defaults every read is a cheap attribute hit, so the binding fields
+    are read directly — no ``getattr(..., default)`` needed anywhere on
+    the hot path.
+    """
+
+    #: (trace recording on this thread, live span stack, db-layer
+    #: metrics registry, root trace id of the logical operation group)
+    bind: tuple = _EMPTY_BIND
+    link_scopes: int = 0             # depth of active link_scope() blocks
+
+
+_ACTIVE = _ThreadBinding()
 
 _TRACE_IDS = itertools.count(1)
 
+# bound builtins: module-attribute lookups add up on span capture paths
+_perf_counter = time.perf_counter
+_get_ident = threading.get_ident
+
 
 def new_trace_id() -> str:
-    """Process-unique trace id (cheap, monotonic, hex)."""
-    return f"{next(_TRACE_IDS):08x}"
+    """Process-unique trace id (monotonic decimal; one trace per op)."""
+    return str(next(_TRACE_IDS))
 
 
 class Span:
@@ -77,18 +107,75 @@ class Span:
 
     ``tid`` records the OS thread that produced the span, so timeline
     exporters can lay cross-thread traces out in per-thread lanes.
+
+    Label values are stored raw at capture time and stringified lazily on
+    the first :attr:`labels` access — rendering and export pay the
+    ``str()`` churn, not the hot path. A span opened by :func:`span` also
+    acts as its own context manager (``_stack`` points at the live span
+    stack it must pop on exit), so entering a traced region costs one
+    allocation, not two.
     """
 
-    __slots__ = ("name", "labels", "start", "end", "children", "tid")
+    __slots__ = ("name", "_labels", "start", "end", "children", "tid",
+                 "_canon", "_stack")
 
     def __init__(self, name: str, start: float,
-                 labels: Optional[dict[str, str]] = None) -> None:
+                 labels: Optional[dict[str, object]] = None) -> None:
         self.name = name
-        self.labels = labels or {}
+        self._labels = labels
+        self._canon = labels is None
+        self._stack: Optional[list["Span"]] = None
         self.start = start
         self.end: Optional[float] = None
-        self.children: list["Span"] = []
-        self.tid = threading.get_ident()
+        # shared immutable sentinel: most spans are leaves (db events),
+        # so the child list is only allocated when a child arrives
+        self.children: Sequence["Span"] = _NO_CHILDREN
+        self.tid = _get_ident()
+
+    @property
+    def labels(self) -> dict[str, str]:
+        labels = self._labels
+        if labels is None:
+            labels = self._labels = {}
+            self._canon = True
+        elif not self._canon:
+            for key, value in labels.items():
+                if type(value) is not str:
+                    # partition/node-group sets are stored raw and only
+                    # collapsed to one shard label when somebody looks
+                    labels[key] = (_set_label(value)
+                                   if type(value) is tuple else str(value))
+            self._canon = True
+        return labels
+
+    def set_label(self, key: str, value: object) -> None:
+        """Attach one label without canonicalizing the stored dict (the
+        :attr:`labels` property would stringify every value in place —
+        needless work when a hot path annotates a live span)."""
+        labels = self._labels
+        if labels is None:
+            labels = self._labels = {}
+        labels[key] = value
+        if type(value) is not str:
+            self._canon = False
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = _perf_counter()
+        stack = self._stack
+        if stack is None:
+            return False
+        if stack and stack[-1] is self:  # balanced exit: O(1) pop
+            stack.pop()
+            return False
+        try:
+            index = stack.index(self)
+        except ValueError:  # already popped by an unbalanced outer exit
+            return False
+        del stack[index:]
+        return False
 
     @property
     def duration(self) -> float:
@@ -131,35 +218,90 @@ class Span:
                f"children={len(self.children)})"
 
 
-class Trace:
-    """One operation's span tree. ``root.name`` is the operation name.
+class Trace(Span):
+    """One operation's span tree: the trace *is* its root span
+    (``root`` returns ``self``), so starting a trace costs a single
+    allocation. ``root.name`` is the operation name.
 
     ``trace_id`` is process-unique; ``parent_id`` is set when the trace
     ran inside a :func:`link_scope` group (subtree-op inner transactions
     point at the trace of the phase that opened the scope).
     """
 
-    __slots__ = ("root", "error", "trace_id", "parent_id")
+    __slots__ = ("error", "trace_id", "parent_id",
+                 "execute_attempts", "retry_events",
+                 "_tracer", "_prev_bind")
 
     def __init__(self, op: str, start: float,
                  labels: Optional[dict[str, str]] = None,
                  parent_id: Optional[str] = None) -> None:
-        self.root = Span(op, start, labels)
+        # Span.__init__ inlined: one fewer Python call on every sampled
+        # operation (keep the field list in sync with Span.__init__)
+        self.name = op
+        self._labels = labels
+        self._canon = labels is None
+        self._stack: Optional[list[Span]] = None
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: Sequence[Span] = _NO_CHILDREN
+        self.tid = _get_ident()
         self.error: Optional[str] = None
         self.trace_id = new_trace_id()
         self.parent_id = parent_id
+        #: filled by ``Tracer._finish`` in its single summary pass so
+        #: finish hooks don't re-walk the span tree per question
+        self.execute_attempts = 0
+        self.retry_events = 0
+        #: the trace is its own `with` target (`Tracer.trace` sets the
+        #: owning tracer) — a separate context-manager object would be
+        #: one more allocation on every sampled operation
+        self._tracer: Optional["Tracer"] = None
+
+    @property
+    def root(self) -> Span:
+        return self
+
+    def __enter__(self) -> "Trace":
+        prev = _ACTIVE.bind
+        self._prev_bind = prev
+        link = prev[3]
+        tracer = self._tracer
+        _ACTIVE.bind = (self, [self],
+                        tracer.registry if tracer is not None else prev[2],
+                        link if link is not None else self.trace_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        bind = _ACTIVE.bind
+        prev = self._prev_bind
+        if _ACTIVE.link_scopes:
+            # an enclosing link_scope keeps the link pinned so sibling
+            # traces of this operation group parent under the same root
+            prev = (prev[0], prev[1], prev[2], bind[3])
+        _ACTIVE.bind = prev
+        stack = bind[1]
+        if stack is not None:
+            # break the span→stack→root reference cycle: child spans
+            # keep a reference to the (shared) stack list, which still
+            # holds this trace — left alone, every finished trace needs
+            # a cycle-GC pass to be reclaimed instead of plain
+            # refcounting, a real cost at full sampling
+            stack.clear()
+        self.end = _perf_counter()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._finish(self)
+        return False
 
     @property
     def op(self) -> str:
-        return self.root.name
-
-    @property
-    def duration(self) -> float:
-        return self.root.duration
+        return self.name
 
     def spans(self, name: Optional[str] = None) -> list[Span]:
         """All spans (optionally filtered by name), depth-first order."""
-        return [span for span in self.root.walk()
+        return [span for span in self.walk()
                 if name is None or span.name == name]
 
     def events(self, name: Optional[str] = None) -> list[Span]:
@@ -169,28 +311,34 @@ class Trace:
         """Total seconds per Figure-4 phase.
 
         ``resolve``/``lock``/``commit``/``lock_wait`` sum span durations
-        across *all* attempts; ``execute`` sums *self* time so nested
-        resolve/lock/commit spans are not double counted. Phases with no
-        spans are omitted.
+        across *all* attempts; ``execute`` is the operation's *self*
+        time — the root's own time plus any retry-attempt ``execute``
+        spans' self time — so nested resolve/lock/commit spans are not
+        double counted. Phases with no time are omitted.
         """
         totals: dict[str, float] = {}
-        for span in self.root.walk():
+        for span in self.walk():
             if span.name not in PHASE_SPANS:
                 continue
             seconds = (span.self_time if span.name == "execute"
                        else span.duration)
             totals[span.name] = totals.get(span.name, 0.0) + seconds
+        # the first attempt's execute time is the root's self time — the
+        # hot path carries no "execute" span (see attempt_span)
+        seconds = self.self_time
+        if seconds > 0.0:
+            totals["execute"] = totals.get("execute", 0.0) + seconds
         return totals
 
-    def render(self) -> str:
+    def render(self, indent: int = 0) -> str:
         status = f" error={self.error}" if self.error else ""
-        return self.root.render() + status
+        return Span.render(self, indent) + status
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able form (flight-recorder dumps, timeline export)."""
         return {"trace_id": self.trace_id, "parent_id": self.parent_id,
                 "op": self.op, "duration": self.duration,
-                "error": self.error, "root": self.root.to_dict()}
+                "error": self.error, "root": Span.to_dict(self)}
 
 
 class _NullContext:
@@ -204,21 +352,24 @@ class _NullContext:
     def __exit__(self, exc_type, exc, tb) -> bool:
         return False
 
+    def set_label(self, key: str, value: object) -> None:
+        return None
+
 
 _NULL = _NullContext()
 
 
 def current_trace() -> Optional[Trace]:
-    return getattr(_ACTIVE, "trace", None)
+    return _ACTIVE.bind[0]
 
 
 def current_registry() -> Optional[MetricsRegistry]:
-    return getattr(_ACTIVE, "registry", None)
+    return _ACTIVE.bind[2]
 
 
 def current_link() -> Optional[str]:
     """Trace id of the logical operation group bound to this thread."""
-    return getattr(_ACTIVE, "link", None)
+    return _ACTIVE.bind[3]
 
 
 class TraceContext:
@@ -247,11 +398,9 @@ class TraceContext:
 
     @classmethod
     def capture(cls) -> "TraceContext":
-        trace = getattr(_ACTIVE, "trace", None)
-        stack = getattr(_ACTIVE, "stack", None)
+        trace, stack, registry, link = _ACTIVE.bind
         parent = stack[-1] if (trace is not None and stack) else None
-        return cls(trace, parent, getattr(_ACTIVE, "registry", None),
-                   getattr(_ACTIVE, "link", None))
+        return cls(trace, parent, registry, link)
 
     def bind(self) -> "_ContextBinding":
         """Context manager installing this snapshot on the current thread."""
@@ -276,20 +425,22 @@ class _ContextBinding:
         self._ctx = ctx
 
     def __enter__(self) -> TraceContext:
-        self._prev = (getattr(_ACTIVE, "trace", None),
-                      getattr(_ACTIVE, "stack", None),
-                      getattr(_ACTIVE, "registry", None),
-                      getattr(_ACTIVE, "link", None))
+        self._prev = _ACTIVE.bind
         ctx = self._ctx
-        _ACTIVE.trace = ctx.trace
-        _ACTIVE.stack = [ctx.parent] if ctx.parent is not None else None
-        _ACTIVE.registry = ctx.registry
-        _ACTIVE.link = ctx.link
+        _ACTIVE.bind = (
+            ctx.trace,
+            [ctx.parent] if ctx.parent is not None else None,
+            ctx.registry,
+            ctx.link)
         return ctx
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        (_ACTIVE.trace, _ACTIVE.stack,
-         _ACTIVE.registry, _ACTIVE.link) = self._prev
+        stack = _ACTIVE.bind[1]
+        _ACTIVE.bind = self._prev
+        if stack is not None:
+            # as in Trace.__exit__: drop the worker stack's reference
+            # to the parent span so finished traces free by refcount
+            stack.clear()
         return False
 
 
@@ -307,69 +458,75 @@ class link_scope:
     __slots__ = ("_prev_link",)
 
     def __enter__(self) -> "link_scope":
-        self._prev_link = getattr(_ACTIVE, "link", None)
-        _ACTIVE.link_scopes = getattr(_ACTIVE, "link_scopes", 0) + 1
+        self._prev_link = _ACTIVE.bind[3]
+        _ACTIVE.link_scopes = _ACTIVE.link_scopes + 1
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         _ACTIVE.link_scopes -= 1
-        _ACTIVE.link = self._prev_link
-        return False
-
-
-class _SpanContext:
-    __slots__ = ("_stack", "_span")
-
-    def __init__(self, stack: list[Span], span: Span) -> None:
-        self._stack = stack
-        self._span = span
-
-    def __enter__(self) -> Span:
-        return self._span
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        span = self._span
-        span.end = time.perf_counter()
-        stack = self._stack
-        try:
-            index = stack.index(span)
-        except ValueError:  # already popped by an unbalanced outer exit
-            return False
-        del stack[index:]
+        bind = _ACTIVE.bind
+        _ACTIVE.bind = (bind[0], bind[1], bind[2], self._prev_link)
         return False
 
 
 def span(name: str, **labels: object):
     """Open a child span of the current trace (no-op when untraced)."""
-    if getattr(_ACTIVE, "trace", None) is None:
+    # the stack is bound iff a trace is recording on this thread, so one
+    # thread-local read answers "are we tracing?" and gives the parent
+    stack: Optional[list[Span]] = _ACTIVE.bind[1]
+    if stack is None:
         return _NULL
-    stack: list[Span] = _ACTIVE.stack
-    child = Span(name, time.perf_counter(),
-                 {k: str(v) for k, v in labels.items()} if labels else None)
-    stack[-1].children.append(child)
+    child = Span(name, _perf_counter(), labels or None)
+    parent = stack[-1]
+    children = parent.children
+    if type(children) is tuple:
+        children = parent.children = []
+    children.append(child)
     stack.append(child)
-    return _SpanContext(stack, child)
+    child._stack = stack
+    return child
+
+
+def attempt_span(attempt: int):
+    """Span wrapping one transaction attempt (``DALSession.run``).
+
+    The first attempt is implicit: an operation's ``execute`` phase is
+    the trace root's *self* time (total duration minus named phase
+    spans), so the conflict-free hot path builds no span object at all.
+    Retry attempts get explicit ``execute`` spans so conflict traces
+    show every attempt with its own timing and ``attempt`` label.
+    """
+    if attempt:
+        return span("execute", attempt=attempt)
+    return _NULL
 
 
 def add_event(name: str, **labels: object) -> None:
     """Record a zero-duration marker on the current trace (or nothing)."""
-    if getattr(_ACTIVE, "trace", None) is None:
+    stack = _ACTIVE.bind[1]
+    if stack is None:
         return
-    now = time.perf_counter()
-    event = Span(name, now,
-                 {k: str(v) for k, v in labels.items()} if labels else None)
+    now = _perf_counter()
+    event = Span(name, now, labels or None)
     event.end = now
-    _ACTIVE.stack[-1].children.append(event)
+    parent = stack[-1]
+    children = parent.children
+    if type(children) is tuple:
+        children = parent.children = []
+    children.append(event)
 
 
 def _set_label(values: Sequence[int]) -> str:
     """Collapse a partition/node-group set into one label value."""
     if not values:
         return "-"
-    unique = set(values)
-    if len(unique) == 1:
-        return str(next(iter(unique)))
-    return "multi"
+    # compare-in-place instead of building a set: this runs once per
+    # database round trip on traced operations
+    first = values[0]
+    for value in values:
+        if value != first:
+            return "multi"
+    return str(first)
 
 
 def record_access(kind_value: str, table: str,
@@ -381,51 +538,22 @@ def record_access(kind_value: str, table: str,
     fan-out, ``-`` when unknown) and ``node_group`` so traces attribute
     each round trip to the backend component that served it.
     """
-    if getattr(_ACTIVE, "trace", None) is None:
+    stack = _ACTIVE.bind[1]
+    if stack is None:
         return
-    now = time.perf_counter()
-    labels = {"table": table, "shard": _set_label(partitions)}
+    now = _perf_counter()
+    # store the partition/node-group tuples raw; the labels property
+    # collapses them to one shard value only when somebody inspects
+    labels = {"table": table, "shard": tuple(partitions)}
     if node_groups:
-        labels["node_group"] = _set_label(node_groups)
-    event = Span(f"db.{kind_value}", now, labels)
+        labels["node_group"] = tuple(node_groups)
+    event = Span("db." + kind_value, now, labels)
     event.end = now
-    _ACTIVE.stack[-1].children.append(event)
-
-
-class _TraceContext:
-    __slots__ = ("_tracer", "_trace", "_prev")
-
-    def __init__(self, tracer: "Tracer", trace: Trace) -> None:
-        self._tracer = tracer
-        self._trace = trace
-
-    def __enter__(self) -> Trace:
-        self._prev = (getattr(_ACTIVE, "trace", None),
-                      getattr(_ACTIVE, "stack", None),
-                      getattr(_ACTIVE, "registry", None),
-                      getattr(_ACTIVE, "link", None))
-        _ACTIVE.trace = self._trace
-        _ACTIVE.stack = [self._trace.root]
-        _ACTIVE.registry = self._tracer.registry
-        if getattr(_ACTIVE, "link", None) is None:
-            _ACTIVE.link = self._trace.trace_id
-        return self._trace
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        prev_trace, prev_stack, prev_registry, prev_link = self._prev
-        _ACTIVE.trace = prev_trace
-        _ACTIVE.stack = prev_stack
-        _ACTIVE.registry = prev_registry
-        if getattr(_ACTIVE, "link_scopes", 0) == 0:
-            _ACTIVE.link = prev_link
-        # else: an enclosing link_scope keeps the link pinned so sibling
-        # traces of this operation group parent under the same root.
-        trace = self._trace
-        trace.root.end = time.perf_counter()
-        if exc_type is not None:
-            trace.error = exc_type.__name__
-        self._tracer._finish(trace)
-        return False
+    parent = stack[-1]
+    children = parent.children
+    if type(children) is tuple:
+        children = parent.children = []
+    children.append(event)
 
 
 class _RegistryContext:
@@ -436,18 +564,22 @@ class _RegistryContext:
     out keeps counters like ``ndb_lock_waits_total`` complete.
     """
 
-    __slots__ = ("_registry", "_prev")
+    __slots__ = ("_bind", "_prev")
 
     def __init__(self, registry: MetricsRegistry) -> None:
-        self._registry = registry
+        self._bind = (None, None, registry, None)
 
     def __enter__(self) -> None:
-        self._prev = getattr(_ACTIVE, "registry", None)
-        _ACTIVE.registry = self._registry
+        prev = _ACTIVE.bind
+        self._prev = prev
+        if prev is _EMPTY_BIND:
+            _ACTIVE.bind = self._bind
+        else:  # preserve an enclosing trace/link, rebind the registry
+            _ACTIVE.bind = (prev[0], prev[1], self._bind[2], prev[3])
         return None
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        _ACTIVE.registry = self._prev
+        _ACTIVE.bind = self._prev
         return False
 
 
@@ -483,50 +615,120 @@ class Tracer:
         self.on_finish = on_finish
         self._ring: deque[Trace] = deque(maxlen=ring_size)
         self._slow: deque[Trace] = deque(maxlen=slow_log_size)
-        self._op_seq: dict[str, int] = {}
+        #: per-op monotonic sequence; itertools.count() advances without
+        #: a lock (``next`` on a count is atomic under the GIL), so the
+        #: sampling decision costs no lock round on the hot path
+        self._op_seq: dict[str, Iterator[int]] = {}
         self._lock = threading.Lock()
+        #: pre-resolved metric handles so finishing a trace skips the
+        #: registry's per-call label canonicalization
+        self._phase_hists: dict[str, dict] = {}  # op -> phase -> histogram
+        self._slow_counters: dict[str, Any] = {}
         self.traces_started = 0
         self.traces_dropped = 0  # unsampled operations
 
     # -- tracing ---------------------------------------------------------------
 
     def trace(self, op: str, **labels: object):
-        """Start a trace for one operation (or a no-op if sampled out)."""
-        link = getattr(_ACTIVE, "link", None)
-        if self.sample_every == 0 and link is None:
+        """Start a trace for one operation (or a no-op if sampled out).
+
+        Sampled calls return the :class:`Trace` itself (it is its own
+        context manager); unsampled calls return a registry-only
+        binding.
+        """
+        link = _ACTIVE.bind[3]
+        sample_every = self.sample_every
+        if sample_every == 0 and link is None:
             return (_RegistryContext(self.registry)
                     if self.registry is not None else _NULL)
-        with self._lock:
-            seq = self._op_seq.get(op, 0)
-            self._op_seq[op] = seq + 1
-            sampled = (link is not None
-                       or (self.sample_every > 0
-                           and seq % self.sample_every == 0))
-            if sampled:
-                self.traces_started += 1
-            else:
+        if sample_every != 1 and link is None:
+            # only fractional sampling needs the per-op round-robin
+            # sequence; trace-everything skips the counter machinery
+            seq_counter = self._op_seq.get(op)
+            if seq_counter is None:
+                seq_counter = self._op_seq.setdefault(op, itertools.count())
+            if next(seq_counter) % sample_every != 0:
                 self.traces_dropped += 1
-        if not sampled:
-            return (_RegistryContext(self.registry)
-                    if self.registry is not None else _NULL)
-        trace = Trace(
-            op, time.perf_counter(),
-            {k: str(v) for k, v in labels.items()} if labels else None,
-            parent_id=link)
-        return _TraceContext(self, trace)
+                return (_RegistryContext(self.registry)
+                        if self.registry is not None else _NULL)
+        self.traces_started += 1
+        trace = Trace(op, _perf_counter(), labels or None,
+                      parent_id=link)
+        trace._tracer = self
+        return trace
 
     def _finish(self, trace: Trace) -> None:
-        with self._lock:
-            self._ring.append(trace)
-            slow = trace.duration >= self.slow_threshold
+        # One iterative pass computes the per-phase totals plus the
+        # attempt/retry summary finish hooks ask about; the previous
+        # recursive walk()-per-question pattern (phases(), then
+        # spans("execute"), then events("tx_retry")) tripled the cost
+        # of finishing a trace.
+        phases: dict[str, float] = {}
+        executes = 0
+        retries = 0
+        stack: list[Span] = [trace]
+        while stack:
+            node = stack.pop()
+            children = node.children
+            if children:
+                stack.extend(children)
+            name = node.name
+            if name == "execute":
+                executes += 1
+                end = node.end
+                seconds = (end - node.start) if end is not None else 0.0
+                for child in children:
+                    cend = child.end
+                    if cend is not None:
+                        seconds -= cend - child.start
+                if seconds < 0.0:
+                    seconds = 0.0
+                phases["execute"] = phases.get("execute", 0.0) + seconds
+            elif name in _PHASE_SET:
+                end = node.end
+                if end is not None:
+                    phases[name] = (phases.get(name, 0.0)
+                                    + (end - node.start))
+            elif name == "tx_retry":
+                retries += 1
+        # the first attempt has no "execute" span (see attempt_span):
+        # its execute time is the root's self time, and the span count
+        # only covers retries
+        end = trace.end
+        if end is not None:
+            seconds = end - trace.start
+            for child in trace.children:
+                cend = child.end
+                if cend is not None:
+                    seconds -= cend - child.start
+            if seconds > 0.0:
+                phases["execute"] = phases.get("execute", 0.0) + seconds
+        trace.execute_attempts = executes + 1
+        trace.retry_events = retries
+        # deque.append is atomic under the GIL (maxlen eviction included),
+        # so the ring and slow log need no lock round here
+        self._ring.append(trace)
+        slow = trace.duration >= self.slow_threshold
+        if slow:
+            self._slow.append(trace)
+        registry = self.registry
+        if registry is not None:
+            op_hists = self._phase_hists.get(trace.op)
+            if op_hists is None:
+                op_hists = self._phase_hists[trace.op] = {}
+            for phase, seconds in phases.items():
+                metric = op_hists.get(phase)
+                if metric is None:
+                    metric = op_hists[phase] = registry.histogram(
+                        "hopsfs_phase_seconds", phase=phase, op=trace.op)
+                metric.observe(seconds)
             if slow:
-                self._slow.append(trace)
-        if self.registry is not None:
-            for phase, seconds in trace.phases().items():
-                self.registry.observe("hopsfs_phase_seconds", seconds,
-                                      phase=phase, op=trace.op)
-            if slow:
-                self.registry.inc("hopsfs_slow_ops_total", op=trace.op)
+                counter = self._slow_counters.get(trace.op)
+                if counter is None:
+                    counter = self._slow_counters[trace.op] = (
+                        registry.counter("hopsfs_slow_ops_total",
+                                         op=trace.op))
+                counter.inc()
         if self.on_finish is not None:
             self.on_finish(trace)
 

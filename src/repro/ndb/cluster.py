@@ -40,6 +40,7 @@ from repro.errors import (
     SchemaError,
     TransactionAbortedError,
 )
+from repro.metrics.registry import handle_cache
 from repro.metrics.tracing import TraceContext, current_registry, span
 from repro.ndb.config import NDBConfig
 from repro.ndb.datanode import CommitRecord, GroupCommitLog, NDBDatanode, WriteRecord
@@ -239,9 +240,19 @@ class NDBCluster:
         parallel = len(tasks) > 1 and self.parallel_dispatch_enabled
         registry = current_registry()
         if registry is not None:
-            registry.observe("ndb_shard_fanout", len(tasks))
-            registry.inc("ndb_shard_dispatch_total",
-                         path="parallel" if parallel else "inline")
+            # cached handles: this runs once per batched round trip
+            cache = handle_cache(registry)
+            fanout = cache.get("shard_fanout")
+            if fanout is None:
+                fanout = cache["shard_fanout"] = registry.histogram(
+                    "ndb_shard_fanout")
+            fanout.observe(len(tasks))
+            path = "parallel" if parallel else "inline"
+            dispatch = cache.get(("shard_dispatch", path))
+            if dispatch is None:
+                dispatch = cache[("shard_dispatch", path)] = registry.counter(
+                    "ndb_shard_dispatch_total", path=path)
+            dispatch.inc()
         if not parallel:
             return [task() for task in tasks]
         # propagate the submitter's trace binding onto the worker threads

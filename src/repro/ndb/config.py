@@ -52,6 +52,11 @@ class NDBConfig:
     #: serialize commit application under one cluster-wide exclusive lock,
     #: reproducing the pre-striping engine (benchmark baseline knob).
     serial_commit: bool = False
+    #: batched lock acquisition for read_batch/subtree lock phases: group
+    #: keys by stripe and take each stripe mutex once per batch
+    #: (LockManager.acquire_many). False reproduces the per-key loop
+    #: (benchmark baseline knob); grant order is identical either way.
+    batched_lock_acquisition: bool = True
 
     def __post_init__(self) -> None:
         if self.num_datanodes < 1:

@@ -223,6 +223,66 @@ class LockManager:
             if witness is not None:
                 witness.row_granted(self, owner, key, mode.value)
 
+    def acquire_many(self, owner: Hashable, keys: Iterable[Any], mode: LockMode,
+                     timeout: Optional[float] = None,
+                     modes: Optional[Iterable[LockMode]] = None) -> None:
+        """Acquire ``mode`` on every key, one stripe-mutex visit per group.
+
+        ``keys`` must already be in a deadlock-free total order (sorted
+        PKs / root-down path order, §5) — grants happen in exactly that
+        order, so the witness sees the same edge sequence as a per-key
+        loop. ``modes`` optionally gives a per-key mode (parallel to
+        ``keys``); READ_COMMITTED entries are skipped.
+
+        The batched phase takes every involved stripe mutex in ascending
+        stripe-index order and self-grants whatever is uncontended —
+        never blocking while holding more than one stripe, which keeps
+        the nested acquisition deadlock-free (this method is the only
+        nested-stripe holder, and all holders ascend). The first
+        conflicting key ends the batched phase; it and everything after
+        it fall back to ordered blocking :meth:`acquire` calls, so FIFO
+        queueing and deadlock detection behave exactly as before.
+        """
+        if modes is None:
+            wanted = [(key, mode) for key in keys
+                      if mode is not LockMode.READ_COMMITTED]
+        else:
+            wanted = [(key, kmode) for key, kmode in zip(keys, modes)
+                      if kmode is not LockMode.READ_COMMITTED]
+        if not wanted:
+            return
+        witness = LockManager._witness
+        granted = 0
+        entered: list[_Stripe] = []
+        try:
+            for idx in sorted({self._stripe_of(key).index for key, _ in wanted}):
+                stripe = self._stripes[idx]
+                stripe.cond.acquire()
+                entered.append(stripe)
+            if owner in self._aborted:
+                raise TransactionAbortedError("transaction was aborted")
+            for key, kmode in wanted:
+                stripe = self._stripe_of(key)
+                row = stripe.rows.get(key)
+                if row is None:
+                    row = _RowLock()
+                if not self._grantable(row, owner, kmode):
+                    break
+                stripe.rows.setdefault(key, row)
+                if witness is not None:
+                    witness.row_requested(self, owner, key, kmode.value)
+                self._grant(stripe, row, key, owner, kmode)
+                if witness is not None:
+                    witness.row_granted(self, owner, key, kmode.value)
+                granted += 1
+        finally:
+            for stripe in entered:
+                stripe.cond.release()
+        # remainder: contended keys block one at a time, in caller order
+        for key, kmode in wanted[granted:]:
+            # hfs: allow(HFS102, reason=keys arrive pre-sorted in the global total order per the docstring contract; re-sorting here would break root-down path order)
+            self.acquire(owner, key, kmode, timeout=timeout)
+
     def release_all(self, owner: Hashable) -> None:
         """Release every lock held by ``owner`` and wake eligible waiters."""
         with self._owner_mutex:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Optional, TypeVar
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
-from repro.metrics.tracing import add_event, current_registry, span
+from repro.metrics.tracing import add_event, attempt_span, current_registry
 from repro.ndb.stats import AccessStats
 from repro.ndb.transaction import Transaction, TxState
 
@@ -39,7 +39,9 @@ class Session:
         for attempt in range(max(1, retries)):
             tx = self.cluster.begin(hint)
             try:
-                with span("execute", attempt=attempt):
+                # attempt 0 is implicit (execute = root self time); only
+                # retries carry an explicit "execute" span
+                with attempt_span(attempt):
                     result = fn(tx)
                 if tx.state is TxState.ACTIVE:
                     tx.commit()  # emits its own "commit" span

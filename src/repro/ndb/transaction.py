@@ -30,6 +30,7 @@ from repro.errors import (
     SchemaError,
     TransactionAbortedError,
 )
+from repro.metrics.registry import handle_cache
 from repro.metrics.tracing import current_registry, span
 from repro.ndb.locks import LockMode
 from repro.ndb.stats import AccessEvent, AccessKind, AccessStats
@@ -83,6 +84,36 @@ class Transaction:
         self._cluster._locks.acquire(self, (table, pk), mode)
         self.stats.rows_locked += 1
 
+    def _lock_many(self, table: str, pks: Sequence[tuple[Any, ...]],
+                   mode: LockMode,
+                   modes: Optional[Sequence[LockMode]] = None) -> None:
+        """Lock a batch of pks in the given (deadlock-free) order.
+
+        With ``modes`` each pk gets its own mode; READ_COMMITTED entries
+        take no lock. Uses the lock manager's batched stripe-grouped
+        acquisition unless the cluster disables it
+        (``batched_lock_acquisition=False``, benchmark baseline knob).
+        """
+        if modes is None:
+            wanted = 0 if mode is LockMode.READ_COMMITTED else len(pks)
+        else:
+            wanted = sum(1 for m in modes
+                         if m is not LockMode.READ_COMMITTED)
+        if not wanted:
+            return
+        keys = [(table, pk) for pk in pks]
+        if self._cluster.config.batched_lock_acquisition:
+            self._cluster._locks.acquire_many(self, keys, mode, modes=modes)
+        else:
+            for i, key in enumerate(keys):
+                kmode = mode if modes is None else modes[i]
+                if kmode is LockMode.READ_COMMITTED:
+                    continue
+                # hfs: allow(HFS102, reason=callers supply a deadlock-free total order (§5 left-ordered DFS); see read_batch docstring)
+                self._cluster._locks.acquire(self, key, kmode)
+        self.stats.rows_locked += wanted
+        self._check_active()
+
     def _buffered(self, table: str, pk: tuple[Any, ...]) -> Optional[_Write]:
         return self._writes.get((table, pk))
 
@@ -114,9 +145,12 @@ class Transaction:
         """Fold one shard-local round trip into ndb_shard_op_seconds."""
         registry = current_registry()
         if registry is not None:
-            registry.observe("ndb_shard_op_seconds",
-                             time.perf_counter() - started,
-                             shard=shard, kind=kind)
+            cache = handle_cache(registry)
+            metric = cache.get(("shard_op", shard, kind))
+            if metric is None:
+                metric = cache[("shard_op", shard, kind)] = registry.histogram(
+                    "ndb_shard_op_seconds", shard=shard, kind=kind)
+            metric.observe(time.perf_counter() - started)
 
     # -- reads -------------------------------------------------------------------
 
@@ -139,13 +173,17 @@ class Transaction:
 
     def read_batch(self, table: str, keys: Sequence[Mapping[str, Any] | Sequence[Any]],
                    lock: LockMode = LockMode.READ_COMMITTED,
+                   locks: Optional[Sequence[LockMode]] = None,
                    ) -> list[Optional[dict[str, Any]]]:
         """Batched primary-key read: one round trip, parallel on the shards.
 
         Two phases. The *lock phase* (skipped entirely at READ_COMMITTED)
         acquires row locks strictly in the order the keys are given —
         callers are responsible for supplying a deadlock-free total order,
-        as HopsFS does (§5, left-ordered depth-first traversal). The
+        as HopsFS does (§5, left-ordered depth-first traversal). ``locks``
+        optionally gives a per-key mode (parallel to ``keys``), so a path
+        resolve can read the whole path at READ_COMMITTED while locking
+        only the parent and last components — in one round trip. The
         *fetch phase* then groups the keys by shard and visits the shards
         concurrently on the cluster's shard executor: the whole batch
         costs one parallel round trip, not one per key. Exactly one
@@ -155,20 +193,39 @@ class Transaction:
         schema = self._cluster.schema(table)
         pks = [schema.pk_tuple(key) for key in keys]
         pids = [self._cluster.partition_of(table, pk) for pk in pks]
-        if lock is not LockMode.READ_COMMITTED:
-            for pk in pks:
-                # hfs: allow(HFS102, reason=callers supply a deadlock-free total order (§5 left-ordered DFS); see docstring)
-                self._lock(table, pk, lock)
-                self._check_active()
+        if locks is not None:
+            if len(locks) != len(pks):
+                raise SchemaError(
+                    f"locks must parallel keys: {len(locks)} != {len(pks)}")
+            any_locked = any(m is not LockMode.READ_COMMITTED for m in locks)
+            self._lock_many(table, pks, lock, modes=locks)
+        else:
+            any_locked = lock is not LockMode.READ_COMMITTED
+            self._lock_many(table, pks, lock)
         rows: list[Optional[dict[str, Any]]] = [None] * len(pks)
         by_shard: dict[int, list[int]] = {}
         for i, pid in enumerate(pids):
             by_shard.setdefault(pid, []).append(i)
 
+        # Worker-side ``shard_fetch`` spans exist to attribute executor-
+        # thread work back to the submitting operation; when the fan-out
+        # runs inline the enclosing span plus the BATCH_PK event's shard
+        # label already cover it, so the hot serial path skips the span
+        # allocations (per-shard timing still lands in
+        # ``ndb_shard_op_seconds`` either way).
+        traced_workers = (len(by_shard) > 1
+                          and self._cluster.parallel_dispatch_enabled)
+
         def shard_fetch(pid: int, indexes: list[int]):
             def fetch() -> None:
                 started = time.perf_counter()
-                with span("shard_fetch", shard=pid, table=table):
+                if traced_workers:
+                    with span("shard_fetch", shard=pid, table=table):
+                        self._cluster._round_trip()
+                        for i in indexes:
+                            rows[i] = self._committed_or_buffered(
+                                table, pid, pks[i])
+                else:
                     self._cluster._round_trip()
                     for i in indexes:
                         rows[i] = self._committed_or_buffered(table, pid,
@@ -180,7 +237,7 @@ class Transaction:
             [shard_fetch(pid, indexes) for pid, indexes in by_shard.items()])
         self._record(AccessKind.BATCH_PK, table, pids,
                      rows=sum(1 for r in rows if r is not None),
-                     locked=lock is not LockMode.READ_COMMITTED)
+                     locked=any_locked)
         return rows
 
     def ppis(self, table: str, partition_values: Mapping[str, Any],
@@ -423,17 +480,28 @@ class Transaction:
 
     def commit(self) -> None:
         """Two-phase commit: flush the write batch to all replicas."""
-        with self._mutex, span("commit", writes=len(self._writes),
-                               participants=len(self._participants)):
-            self._check_active()
-            try:
-                self._cluster._apply_commit(self)
-            except Exception:
-                self.state = TxState.ABORTED
-                raise
-            finally:
-                self._cluster._locks.release_all(self)
-                self._cluster._forget_tx(self)
+        if self._writes:
+            with self._mutex, span("commit", writes=len(self._writes),
+                                   participants=len(self._participants)):
+                self._commit_inner()
+        else:
+            # a read-only commit performs no 2PC flush round trip, so the
+            # phase span would time nothing but lock release — skip the
+            # capture on hot read paths
+            with self._mutex:
+                self._commit_inner()
+
+    def _commit_inner(self) -> None:
+        self._check_active()
+        try:
+            self._cluster._apply_commit(self)
+        except Exception:
+            # hfs: allow(HFS104, reason=both commit() branches call this with _mutex held; the split exists only to skip the phase span on read-only commits)
+            self.state = TxState.ABORTED
+            raise
+        finally:
+            self._cluster._locks.release_all(self)
+            self._cluster._forget_tx(self)
 
     def abort(self) -> None:
         with self._mutex:

@@ -291,7 +291,7 @@ def apply_stats_delta(stats: AccessStats, delta: Mapping[str, Any]) -> None:
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + count
     for raw in delta.get("events", ()):
         event = decode_event(raw)
-        if getattr(_ACTIVE, "trace", None) is not None:
+        if _ACTIVE.bind[1] is not None:
             record_access(event.kind.value, event.table,
                           event.partitions, event.node_groups)
         if stats.keep_events:

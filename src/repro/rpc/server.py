@@ -93,6 +93,7 @@ class NDBServer:
     def __init__(self, driver: Optional[DALDriver] = None,
                  config: Optional[NDBConfig] = None,
                  host: str = "127.0.0.1", port: int = 0,
+                 unix_path: Optional[str] = None,
                  name: str = "ndb0",
                  registry: Optional[MetricsRegistry] = None,
                  drain_timeout: float = 5.0,
@@ -104,6 +105,8 @@ class NDBServer:
         self.name = name
         self.host = host
         self.port = port
+        #: listen on an AF_UNIX socket at this path instead of TCP
+        self.unix_path = unix_path
         self.registry = registry or MetricsRegistry()
         self.drain_timeout = drain_timeout
         self.metrics_path = metrics_path
@@ -146,10 +149,21 @@ class NDBServer:
 
     def start(self) -> None:
         """Bind the listener and start accepting in a background thread."""
-        listener = socket.create_server((self.host, self.port), backlog=64)
+        if self.unix_path is not None:
+            try:  # a stale socket file from a dead server blocks bind()
+                os.unlink(self.unix_path)
+            except FileNotFoundError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.unix_path)
+            listener.listen(64)
+        else:
+            listener = socket.create_server((self.host, self.port),
+                                            backlog=64)
         listener.settimeout(0.25)  # poll the stop flag between accepts
         self._listener = listener
-        self.port = listener.getsockname()[1]
+        if self.unix_path is None:
+            self.port = listener.getsockname()[1]
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"rpc-accept-{self.name}",
             daemon=True)
@@ -169,6 +183,11 @@ class NDBServer:
         self.stop_requested.set()
         if self._listener is not None:
             self._listener.close()
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
         # drain: give in-flight transactions a chance to finish cleanly
@@ -238,7 +257,8 @@ class NDBServer:
                 continue
             except OSError:
                 break  # listener closed by stop()
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if sock.family == socket.AF_INET:  # no Nagle on AF_UNIX
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             thread = threading.Thread(
                 target=self._serve_conn, args=(sock,),
                 name=f"rpc-conn-{self.name}", daemon=True)
@@ -396,8 +416,11 @@ class NDBServer:
                          params: Mapping[str, Any]) -> dict[str, Any]:
         tx, cursor = self._get_tx(state, params)
         keys = [protocol.decode_value(k) for k in params["keys"]]
+        locks = params.get("locks")
         rows = tx.read_batch(params["table"], keys,
-                             lock=_lock_mode(params.get("lock")))
+                             lock=_lock_mode(params.get("lock")),
+                             locks=(None if locks is None else
+                                    [_lock_mode(name) for name in locks]))
         return {"rows": [protocol.encode_value(r) for r in rows],
                 "stats": cursor.delta(tx.stats)}
 
@@ -547,6 +570,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=0,
                         help="TCP port (0 picks a free one; the chosen port "
                              "is printed on the READY line)")
+    parser.add_argument("--unix", default=None, metavar="PATH",
+                        help="listen on an AF_UNIX socket at PATH instead "
+                             "of TCP (--host/--port are ignored)")
     parser.add_argument("--name", default="ndb0",
                         help="server name used in metrics/flight artifacts")
     parser.add_argument("--datanodes", type=int, default=4)
@@ -580,6 +606,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         serial_commit=args.serial_commit,
     )
     server = NDBServer(config=config, host=args.host, port=args.port,
+                       unix_path=args.unix,
                        name=args.name, drain_timeout=args.drain_timeout,
                        metrics_path=args.metrics_json,
                        flight_dir=args.flight_dir)
@@ -590,8 +617,11 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     signal.signal(signal.SIGTERM, _on_signal)
     signal.signal(signal.SIGINT, _on_signal)
-    print(f"{READY_PREFIX} host={server.host} port={server.port} "
-          f"pid={os.getpid()}", flush=True)
+    ready = f"{READY_PREFIX} host={server.host} port={server.port} " \
+            f"pid={os.getpid()}"
+    if server.unix_path is not None:
+        ready += f" unix={server.unix_path}"
+    print(ready, flush=True)
     server.serve_until_stopped()
     print(f"REPRO-NDB-SERVE EXIT name={args.name}", flush=True)
     return 0

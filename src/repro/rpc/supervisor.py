@@ -69,6 +69,7 @@ class ServerHandle:
         self.ready_timeout = ready_timeout
         self.host = ""
         self.port = 0
+        self.unix_path: Optional[str] = None
         self.pid = 0
         self.restarts = 0
         self._output: deque[str] = deque(maxlen=output_keep)  # guarded_by: GIL
@@ -109,6 +110,7 @@ class ServerHandle:
                               for part in line[len(READY_PREFIX):].split())
                 self.host = fields.get("host", "127.0.0.1")
                 self.port = int(fields.get("port", 0))
+                self.unix_path = fields.get("unix")
                 self._ready.set()
         process.stdout.close()
 

@@ -47,6 +47,10 @@ class LatencyReservoir:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._rng = random.Random(seed)
+        # bound method: ``Random.random`` is a single C call, an order of
+        # magnitude cheaper than pure-Python ``randrange`` — and record()
+        # runs once per histogram observation on hot paths
+        self._random = self._rng.random
         self._samples: list[float] = []
         self.count = 0
         self.total = 0.0
@@ -60,7 +64,9 @@ class LatencyReservoir:
         if len(self._samples) < self._capacity:
             self._samples.append(value)
         else:
-            j = self._rng.randrange(self.count)
+            # Algorithm R eviction; int(U * count) is uniform on
+            # [0, count) just like randrange(count)
+            j = int(self._random() * self.count)
             if j < self._capacity:
                 self._samples[j] = value
 

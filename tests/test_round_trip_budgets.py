@@ -1,0 +1,108 @@
+"""Round-trip budget regression tests (the cost program's ledger).
+
+Every cell here is an *exact* count of database round trips per warm
+metadata operation, read off the namenode's ``db_round_trips_total``
+counter. The counts are deterministic — the engine counts one round
+trip per batched access — so any drift means someone added or removed
+a database access on the hot path. If a change legitimately alters a
+budget (e.g. a new feature genuinely needs another read), update the
+table *in the same PR* and say why in the commit.
+
+The legacy-toggle cells pin the "before" behaviour the benchmarks
+compare against (``BENCH_hotpath.json``): with
+``resolver_coalesced_locking=False`` the resolver re-reads the locked
+parent/last components after the batched resolve, which is exactly one
+extra round trip on stat and two on parent+child write ops.
+"""
+
+import pytest
+
+from repro.ndb.stats import AccessKind, AccessStats
+from tests.conftest import make_hopsfs
+
+#: exact db round trips per warm operation: (optimized, legacy resolver)
+BUDGETS = {
+    "stat": (1, 2),
+    "mkdir": (5, 7),
+    "create": (5, 7),
+    "rename": (8, 8),
+}
+
+
+def _warm_namenode(**config_overrides):
+    fs = make_hopsfs(num_namenodes=1, **config_overrides)
+    nn = fs.namenodes[0]
+    nn.mkdirs("/a/b")
+    nn.create("/a/b/f0", client="c")
+    nn.get_file_info("/a/b/f0")
+    nn.rename("/a/b/f0", "/a/b/g0")  # warm every op (+ id leases) once
+    return nn
+
+
+def _measure(nn, repeat: int = 3):
+    counter = nn.metrics.counter("db_round_trips_total")
+    ops = {
+        "stat": lambda i: nn.get_file_info("/a/b/g0"),
+        "mkdir": lambda i: nn.mkdirs(f"/a/b/d{i}"),
+        "create": lambda i: nn.create(f"/a/b/n{i}", client="c"),
+        "rename": lambda i: nn.rename(f"/a/b/n{i}", f"/a/b/r{i}"),
+    }
+    used = {}
+    for name, op in ops.items():
+        costs = set()
+        for i in range(repeat):
+            before = counter.value
+            op(i)
+            costs.add(int(counter.value - before))
+        assert len(costs) == 1, f"{name} round trips not deterministic: {costs}"
+        used[name] = costs.pop()
+    return used
+
+
+def test_optimized_budgets_are_exact():
+    nn = _warm_namenode()
+    used = _measure(nn)
+    expected = {op: budget[0] for op, budget in BUDGETS.items()}
+    assert used == expected
+
+
+def test_legacy_resolver_budgets_are_exact():
+    nn = _warm_namenode(resolver_coalesced_locking=False)
+    used = _measure(nn)
+    expected = {op: budget[1] for op, budget in BUDGETS.items()}
+    assert used == expected
+
+
+def test_warm_stat_is_one_batched_read():
+    """The headline cell: a warm stat is ONE round trip, and that round
+    trip is a batched PK read (no per-component reads, no re-read)."""
+    nn = _warm_namenode()
+    nn.get_file_info("/a/b/g0")
+    batched = nn.metrics.counter("db_access_total",
+                                 kind=AccessKind.BATCH_PK.value)
+    total = nn.metrics.counter("db_round_trips_total")
+    b0, t0 = batched.value, total.value
+    nn.get_file_info("/a/b/g0")
+    assert total.value - t0 == 1
+    assert batched.value - b0 == 1
+
+
+def test_round_trip_budget_view():
+    """RoundTripBudget: the unit of account the cost program gates on."""
+    stats = AccessStats()
+    budget = stats.budget(2)
+    assert budget.used == 0 and budget.remaining == 2
+    assert not budget.exceeded
+    stats.round_trips += 2
+    assert budget.used == 2 and budget.remaining == 0
+    assert not budget.exceeded  # at the limit is within budget
+    stats.round_trips += 1
+    assert budget.exceeded and budget.remaining == -1
+
+
+def test_budget_counts_from_open_not_from_zero():
+    stats = AccessStats()
+    stats.round_trips = 7  # history before the op under measurement
+    budget = stats.budget(1)
+    stats.round_trips += 1
+    assert budget.used == 1 and not budget.exceeded

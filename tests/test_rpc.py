@@ -342,3 +342,24 @@ def test_kill_datanode_mid_commit_storm(driver):
         assert len(replicas) >= 2
         for replica in replicas[1:]:
             assert replica == replicas[0], f"partition {pid} diverged"
+
+
+def test_unix_socket_roundtrip(tmp_path):
+    """AF_UNIX deployment: full tx cycle plus stale-socket cleanup."""
+    path = str(tmp_path / "ndb.sock")
+    with open(path, "w", encoding="utf-8"):
+        pass  # stale file from a "dead server"; start() must replace it
+    with NDBServer(config=CONFIG, unix_path=path) as srv:
+        drv = RemoteDriver(unix_path=path, timeout=5.0,
+                           reconnect_backoff=0.01)
+        try:
+            drv.create_table(KV)
+            session = drv.session()
+            session.run(lambda tx: tx.insert("kv", {"k": 1, "v": 10}))
+            assert session.run(lambda tx: tx.read("kv", (1,)))["v"] == 10
+            assert path in drv.engine_name
+        finally:
+            drv.close()
+        assert srv.unix_path == path
+    import os
+    assert not os.path.exists(path)  # stop() unlinks the socket file
