@@ -27,7 +27,13 @@ from repro.analysis.rules import (
     RULES,
     SESSION_NAME_HINTS,
 )
-from repro.analysis.waivers import is_waived, parse_guards, parse_waivers
+from repro.analysis.budgets import BUDGET_SCOPE_SUFFIXES
+from repro.analysis.waivers import (
+    is_waived,
+    parse_guards,
+    parse_rt_notes,
+    parse_waivers,
+)
 
 
 @dataclass(frozen=True)
@@ -587,8 +593,49 @@ def _check_guarded_by(tree: ast.AST, path: str, guards_by_line,
 
 # -- driver --------------------------------------------------------------------
 
+def _decorator_alias_lines(tree: ast.AST) -> dict[int, tuple[int, ...]]:
+    """Map a decorated ``def``/``class`` line to its decorator lines.
+
+    A waiver sitting on (or directly above) a decorator then also covers
+    violations reported on the decorated definition's own line.
+    """
+    aliases: dict[int, tuple[int, ...]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and node.decorator_list:
+            lines = sorted({d.lineno for d in node.decorator_list})
+            aliases[node.lineno] = tuple(lines + [lines[0] - 1])
+    return aliases
+
+
+@dataclass
+class ParsedFile:
+    """One lint target with its parsed waiver context."""
+
+    path: str
+    source: str
+    tree: Optional[ast.AST]
+    waivers: dict
+    alias_lines: dict[int, tuple[int, ...]]
+
+
+def parse_file(source: str, path: str) -> ParsedFile:
+    try:
+        tree: Optional[ast.AST] = ast.parse(source, filename=path)
+    except SyntaxError:
+        return ParsedFile(path, source, None, {}, {})
+    waivers, _errors = parse_waivers(source, frozenset(RULES))
+    return ParsedFile(path, source, tree, waivers,
+                      _decorator_alias_lines(tree))
+
+
 def lint_source(source: str, path: str) -> list[Violation]:
-    """Lint one module's source; ``path`` decides which rules apply."""
+    """Lint one module's source; ``path`` decides which rules apply.
+
+    Runs the per-function rules (HFS101–104) plus the waiver/annotation
+    grammar checks; the interprocedural rules (HFS105/HFS106) need the
+    whole corpus and run from :func:`lint_paths`.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -596,6 +643,12 @@ def lint_source(source: str, path: str) -> list[Violation]:
                           f"syntax error: {exc.msg}")]
     waivers, waiver_errors = parse_waivers(source, frozenset(RULES))
     guards, guard_errors = parse_guards(source)
+    _notes, note_errors = parse_rt_notes(source)
+    # rt: notes only have meaning in the HFS105 budget scope; elsewhere a
+    # matching line is almost certainly prose quoting the grammar
+    if not any(path.endswith(suffix) for suffix in BUDGET_SCOPE_SUFFIXES):
+        note_errors = []
+    alias_lines = _decorator_alias_lines(tree)
 
     raw: list[Violation] = []
     _check_hot_path(tree, path, raw)
@@ -603,8 +656,9 @@ def lint_source(source: str, path: str) -> list[Violation]:
     _check_session_scope(tree, path, raw)
     _check_guarded_by(tree, path, guards, raw)
 
-    violations = [v for v in raw if not is_waived(waivers, v.code, v.line)]
-    for line, message in waiver_errors + guard_errors:
+    violations = [v for v in raw
+                  if not is_waived(waivers, v.code, v.line, alias_lines)]
+    for line, message in waiver_errors + guard_errors + note_errors:
         violations.append(Violation(path, line, 0, "HFS100", message))
     violations.sort(key=lambda v: (v.line, v.col, v.code))
     return violations
@@ -624,8 +678,44 @@ def iter_python_files(paths: Iterable[str]) -> list[str]:
 
 
 def lint_paths(paths: Sequence[str]) -> list[Violation]:
+    """Per-file rules plus the corpus-wide HFS105/HFS106 passes."""
+    # imported here: interproc imports linter helpers, so a top-level
+    # import would be circular
+    from repro.analysis import costs, interproc
+
     violations: list[Violation] = []
+    parsed: dict[str, ParsedFile] = {}
+    corpus: list = []
     for filename in iter_python_files(paths):
         with open(filename, encoding="utf-8") as handle:
-            violations.extend(lint_source(handle.read(), filename))
+            source = handle.read()
+        violations.extend(lint_source(source, filename))
+        parsed[filename] = parse_file(source, filename)
+        sf = costs.SourceFile.parse(filename, source)
+        if sf is not None:
+            corpus.append(sf)
+
+    problems: list = []
+    if any(costs.in_budget_scope(sf.path) for sf in corpus):
+        _op_costs, cost_problems = costs.analyze(corpus)
+        problems.extend(cost_problems)
+        problems.extend(interproc.check(corpus))
+
+    for problem in problems:
+        context = parsed.get(problem.path)
+        if context is None:
+            # a file outside the lint targets (e.g. the budget table
+            # itself): parse it so its waivers still apply
+            try:
+                with open(problem.path, encoding="utf-8") as handle:
+                    context = parse_file(handle.read(), problem.path)
+            except OSError:
+                context = ParsedFile(problem.path, "", None, {}, {})
+            parsed[problem.path] = context
+        if is_waived(context.waivers, problem.code, problem.line,
+                     context.alias_lines):
+            continue
+        violations.append(Violation(problem.path, problem.line, problem.col,
+                                    problem.code, problem.message))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations

@@ -82,6 +82,9 @@ class WitnessReport:
     edges: int
     cycles: list[list[str]] = field(default_factory=list)
     upgrades: list[UpgradeEvent] = field(default_factory=list)
+    #: raw node members of each reported cycle (same order as ``cycles``),
+    #: kept for graph exports that highlight the offending subgraph
+    components: list[list[Node]] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -279,9 +282,11 @@ class LockWitness:
             for src, successors in edges.items()
         }
         cycles = []
+        components = []
         for component in _cyclic_sccs(edges):
             if self._commonly_guarded(component, edges, guards):
                 continue  # mutually excluded by a shared outer lock (§5.2.1)
+            components.append(list(component))
             hops = []
             for node in component:
                 succ = edges.get(node, {})
@@ -299,6 +304,7 @@ class LockWitness:
             edges=sum(len(succ) for succ in edges.values()),
             cycles=cycles,
             upgrades=upgrades,
+            components=components,
         )
 
     @staticmethod
@@ -328,6 +334,89 @@ class LockWitness:
         registry.set_gauge("lock_witness_edges", report.edges)
         registry.set_gauge("lock_witness_cycles", len(report.cycles))
         registry.set_gauge("lock_witness_upgrades", len(report.upgrades))
+
+    # -- graph export (CI artifact) ----------------------------------------------
+
+    def export_graph(self, report: Optional[WitnessReport] = None) -> dict:
+        """The full acquisition-order graph as a JSON-ready dict.
+
+        Nodes and edges carry an ``in_cycle`` flag for the members of any
+        reported (unguarded) cycle, so a viewer can highlight the
+        offending subgraph; ``cycles`` lists the member node ids per
+        cycle in the same order as ``WitnessReport.cycles``.
+        """
+        if report is None:
+            report = self.report()
+        with self._mutex:
+            edges = {src: dict(dst) for src, dst in self._edges.items()}
+            labels = dict(self._labels)
+        nodes = set(edges)
+        for successors in edges.values():
+            nodes.update(successors)
+        ids = {node: f"n{i}"
+               for i, node in enumerate(sorted(nodes, key=repr))}
+        in_cycle = {node for component in report.components
+                    for node in component}
+        members = [set(component) for component in report.components]
+        return {
+            "summary": {"nodes": len(nodes),
+                        "edges": sum(len(s) for s in edges.values()),
+                        "cycles": len(report.cycles),
+                        "upgrades": len(report.upgrades)},
+            "nodes": [{"id": ids[node],
+                       "label": labels.get(node, repr(node)),
+                       "in_cycle": node in in_cycle}
+                      for node in sorted(nodes, key=repr)],
+            "edges": [{"src": ids[src], "dst": ids[dst], "site": site,
+                       "in_cycle": any(src in m and dst in m
+                                       for m in members)}
+                      for src, successors in sorted(edges.items(), key=repr)
+                      for dst, site in sorted(successors.items(), key=repr)],
+            "cycles": [[ids[node] for node in component]
+                       for component in report.components],
+            "upgrades": [{"label": u.label, "held": u.held_mode,
+                          "wanted": u.wanted_mode, "site": u.site}
+                         for u in report.upgrades],
+        }
+
+    def export_dot(self, report: Optional[WitnessReport] = None) -> str:
+        """Graphviz rendering of :meth:`export_graph`; cycle members and
+        the edges between them are drawn red and bold."""
+        graph = self.export_graph(report)
+
+        def esc(text: str) -> str:
+            return str(text).replace("\\", "\\\\").replace('"', '\\"')
+
+        lines = ["digraph lock_order {",
+                 "  rankdir=LR;",
+                 '  node [shape=box, fontsize=10, fontname="monospace"];']
+        for node in graph["nodes"]:
+            style = ', color=red, penwidth=2' if node["in_cycle"] else ""
+            lines.append(f'  {node["id"]} [label="{esc(node["label"])}"'
+                         f'{style}];')
+        for edge in graph["edges"]:
+            style = (' [color=red, penwidth=2, label="'
+                     + esc(edge["site"]) + '"]') if edge["in_cycle"] else ""
+            lines.append(f'  {edge["src"]} -> {edge["dst"]}{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def dump(self, directory: str,
+             report: Optional[WitnessReport] = None) -> list[str]:
+        """Write ``lock-witness.json`` + ``lock-witness.dot`` artifacts."""
+        import json
+        import os
+        os.makedirs(directory, exist_ok=True)
+        if report is None:
+            report = self.report()
+        json_path = os.path.join(directory, "lock-witness.json")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(self.export_graph(report), handle, indent=2)
+            handle.write("\n")
+        dot_path = os.path.join(directory, "lock-witness.dot")
+        with open(dot_path, "w", encoding="utf-8") as handle:
+            handle.write(self.export_dot(report))
+        return [json_path, dot_path]
 
 
 def _cyclic_sccs(edges: dict[Node, dict[Node, str]]) -> list[list[Node]]:

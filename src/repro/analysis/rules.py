@@ -20,9 +20,21 @@ the tree follows only by convention:
   ``hopsfs/`` that own a lock must carry a ``# guarded_by: <lock>``
   annotation, and annotated attributes must only be touched inside a
   ``with self.<lock>`` block (a lightweight static race detector).
+* **HFS105** (§3.3, interprocedural) — every ``_fs_op`` transaction
+  callback in the budget scope must have a statically derived warm
+  round-trip bound that exactly matches its declared entry in the shared
+  budget table (:mod:`repro.analysis.budgets`), the same table the
+  runtime budget tests pin against. See :mod:`repro.analysis.costs`.
+* **HFS106** (§3.4, interprocedural) — lock context propagates through
+  helper calls: no cross-function SHARED→EXCLUSIVE upgrade on one key
+  within a transaction, no helper that acquires per-item locks called
+  from a loop over an unsorted iterable, and every batched acquisition
+  site (``acquire_many`` / ``_lock_many`` / locked ``read_batch``) must
+  take a provably sorted key iterable. See :mod:`repro.analysis.interproc`.
 
-``HFS100`` is reserved for problems with the waiver comments themselves
-(malformed syntax, missing reason, unknown rule code).
+``HFS100`` is reserved for problems with the waiver and annotation
+comments themselves (malformed syntax, missing reason, unknown rule
+code) — including the ``# rt:`` cost notes HFS105 consumes.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ RULES: dict[str, str] = {
     "HFS102": "lock acquisitions out of total order, or SHARED->EXCLUSIVE upgrade",
     "HFS103": "DAL access outside a transaction callback (raw session / bare begin)",
     "HFS104": "shared mutable attribute without guarded_by, or access outside its lock",
+    "HFS105": "derived warm round-trip bound differs from the declared op budget",
+    "HFS106": "interprocedural lock-order violation (S->X upgrade, unsorted batch keys)",
 }
 
 #: path suffixes of the hot-path modules HFS101 applies to (paper §3.3:

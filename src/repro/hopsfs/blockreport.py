@@ -84,7 +84,7 @@ class BlockReportProcessor:
                 if row is None:
                     return 0
                 count = 0
-                for block_id in new_blocks:
+                for block_id in sorted(new_blocks):
                     if tx.read("blocks", (inode_id, block_id)) is None:
                         continue  # stale lookup row
                     blk.finalize_replica(tx, inode_id, block_id, dn_id,

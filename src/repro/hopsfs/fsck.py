@@ -93,7 +93,9 @@ class Fsck:
             block_keys = {(b["inode_id"], b["block_id"]) for b in blocks}
             block_ids = {b["block_id"] for b in blocks}
             report.blocks_checked = len(blocks)
-            for block in blocks:
+            # repair deletes follow the global pk lock order (§3.4)
+            for block in sorted(blocks, key=lambda b: (b["inode_id"],
+                                                       b["block_id"])):
                 if block["inode_id"] not in inode_ids:
                     self._flag(report, tx, repair, "dangling-block",
                                "blocks", (block["inode_id"],
@@ -101,7 +103,7 @@ class Fsck:
                                "inode missing")
             lookups = tx.full_scan("block_lookup")
             lookup_ids = {r["block_id"] for r in lookups}
-            for row in lookups:
+            for row in sorted(lookups, key=lambda r: r["block_id"]):
                 if row["block_id"] not in block_ids:
                     self._flag(report, tx, repair, "stale-block-lookup",
                                "block_lookup", (row["block_id"],),
@@ -129,7 +131,9 @@ class Fsck:
                     ("xattrs", ("inode_id", "name"), "inode_id"),
                     ("quotas", ("inode_id",), "inode_id"),
                     ("leases", ("inode_id",), "inode_id")):
-                for row in tx.full_scan(table):
+                for row in sorted(tx.full_scan(table),
+                                  key=lambda r, cols=key_cols:
+                                  tuple(r[c] for c in cols)):
                     if row[owner_col] not in inode_ids:
                         self._flag(report, tx, repair,
                                    f"dangling-{table}", table,
@@ -137,7 +141,9 @@ class Fsck:
                                    "inode missing")
 
             # 4. replicas belong to known blocks
-            for row in tx.full_scan("replicas"):
+            for row in sorted(tx.full_scan("replicas"),
+                              key=lambda r: (r["inode_id"], r["block_id"],
+                                             r["dn_id"])):
                 if (row["inode_id"], row["block_id"]) not in block_keys:
                     if row["inode_id"] in inode_ids:
                         self._flag(report, tx, repair, "replica-sans-block",
@@ -182,7 +188,7 @@ class Fsck:
                         "uc-file-without-lease", "leases", (row["id"],),
                         f"file {row['name']} under construction, no lease",
                         repairable=False))
-            for inode_id in lease_ids:
+            for inode_id in sorted(lease_ids):
                 holder = next((r for r in inodes if r["id"] == inode_id),
                               None)
                 if holder is not None and not holder["under_construction"]:

@@ -223,6 +223,11 @@ class NameNode(InodeOpsMixin, SubtreeOpsMixin):
                 raise
         raise last_exc
 
+    def op_counts(self) -> dict[str, int]:
+        """A locked snapshot of the per-op invocation counters."""
+        with self._stats_mutex:
+            return self.op_count.snapshot()
+
     def _merge_stats(self, op_name: str, session) -> None:
         stats = session.stats
         with self._stats_mutex:

@@ -145,6 +145,7 @@ class InodeOpsMixin:
     def _lock_inode_by_id(self, tx: DALTransaction, inode_id: int,
                           lock: LockMode = LockMode.EXCLUSIVE) -> Optional[dict]:
         """Lock an inode known only by id (datanode-triggered paths)."""
+        # rt: bound(1, reason=retry only races a concurrent rename; warm path locks on the first attempt)
         for _attempt in range(3):
             # hfs: allow(HFS101, reason=id-only lookup has no path to prune on; bounded retry, rare datanode-triggered path)
             matches = tx.index_scan("inodes", "by_id", (inode_id,))
@@ -165,6 +166,7 @@ class InodeOpsMixin:
         """Create a directory and any missing ancestors. Idempotent."""
 
         def fn(tx: DALTransaction) -> bool:
+            # rt: cost(2, reason=warm mkdir resolve: hinted-prefix locked batch + locked read of the missing last component)
             resolved = self.resolver.resolve(
                 tx, path, lock_last=LockMode.EXCLUSIVE,
                 lock_parent=LockMode.EXCLUSIVE)
@@ -215,6 +217,7 @@ class InodeOpsMixin:
             self.config.default_replication)
 
         def fn(tx: DALTransaction) -> FileStatus:
+            # rt: cost(2, reason=warm create resolve: hinted-prefix locked batch + locked read of the missing last component)
             resolved = self.resolver.resolve(
                 tx, path, lock_last=LockMode.EXCLUSIVE,
                 lock_parent=LockMode.EXCLUSIVE)
@@ -226,6 +229,7 @@ class InodeOpsMixin:
                     raise FileAlreadyExistsError(f"{path} is a directory")
                 if not overwrite:
                     raise FileAlreadyExistsError(path)
+                # rt: offpath(reason=overwrite variant; the pinned warm create targets a fresh path)
                 self._delete_file_rows(tx, resolved, existing)
             parent_row = resolved.parent
             if parent_row is None:
@@ -268,7 +272,7 @@ class InodeOpsMixin:
         """``stat``: shared lock on the last component only."""
 
         def fn(tx: DALTransaction) -> Optional[FileStatus]:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.SHARED)
             row = resolved.last
             return self._status(path, row) if row is not None else None
@@ -282,7 +286,7 @@ class InodeOpsMixin:
         """The HDFS read path: file blocks plus replica locations."""
 
         def fn(tx: DALTransaction) -> LocatedBlocks:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.SHARED)
             row = self._require(resolved)
             if row["is_dir"]:
@@ -313,7 +317,7 @@ class InodeOpsMixin:
         """Directory listing; shared lock on the directory (§5.2.1)."""
 
         def fn(tx: DALTransaction) -> DirectoryListing:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.SHARED)
             row = self._require(resolved)
             if not row["is_dir"]:
@@ -333,7 +337,7 @@ class InodeOpsMixin:
         """Recursive usage of a directory (read-committed traversal)."""
 
         def fn(tx: DALTransaction) -> ContentSummary:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.SHARED)
             row = self._require(resolved)
             if not row["is_dir"]:
@@ -341,6 +345,7 @@ class InodeOpsMixin:
                                       directory_count=0, length=row["size"])
             files = dirs = length = 0
             stack = [row]
+            # rt: per(dir)
             while stack:
                 current = stack.pop()
                 for child in self._list_children(tx, current):
@@ -366,13 +371,13 @@ class InodeOpsMixin:
         """Allocate the next block of a file under construction."""
 
         def fn(tx: DALTransaction) -> BlockLocation:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             self._check_lease(row, client)
             inode_id = row["id"]
             file_blocks = tx.ppis("blocks", {"inode_id": inode_id})
-            for block in file_blocks:
+            for block in sorted(file_blocks, key=lambda b: b["block_id"]):
                 if block["state"] == blk.BLOCK_STATE_UNDER_CONSTRUCTION:
                     blk.complete_block(tx, inode_id, block["block_id"])
             targets = self._choose_datanodes(row["replication"])
@@ -412,7 +417,7 @@ class InodeOpsMixin:
         """Close a file under construction."""
 
         def fn(tx: DALTransaction) -> bool:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             self._check_lease(row, client)
@@ -421,7 +426,7 @@ class InodeOpsMixin:
             replicas = tx.ppis("replicas", {"inode_id": inode_id})
             finalized = {r["block_id"] for r in replicas}
             size = 0
-            for block in file_blocks:
+            for block in sorted(file_blocks, key=lambda b: b["block_id"]):
                 if block["block_id"] not in finalized:
                     return False  # pipeline not finished; client retries
                 if block["state"] == blk.BLOCK_STATE_UNDER_CONSTRUCTION:
@@ -442,7 +447,7 @@ class InodeOpsMixin:
         """Reopen a file for append; returns the last partial block."""
 
         def fn(tx: DALTransaction) -> Optional[BlockLocation]:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             if row["is_dir"]:
@@ -482,6 +487,7 @@ class InodeOpsMixin:
         """
 
         def fn(tx: DALTransaction):
+            # rt: cost(1, reason=warm delete resolve: parent and target locked in one hinted batched read)
             resolved = self.resolver.resolve(
                 tx, path, lock_last=LockMode.EXCLUSIVE,
                 lock_parent=LockMode.EXCLUSIVE)
@@ -571,8 +577,10 @@ class InodeOpsMixin:
         dst_components = split_path(dst)
         # Resolve both paths read-committed first (no locks), then lock the
         # four interesting rows in path order.
+        # rt: cost(1, reason=warm RC resolve of the existing source: one batched read)
         src_resolved = self.resolver.resolve(
             tx, src, check_subtree_locks=subtree_root_id is None)
+        # rt: cost(2, reason=warm RC resolve of the missing destination: prefix batch + parent child lookup)
         dst_resolved = self.resolver.resolve(
             tx, dst, check_subtree_locks=subtree_root_id is None)
         src_row = src_resolved.last
@@ -613,6 +621,7 @@ class InodeOpsMixin:
         if src_row is None or src_row["id"] != src_resolved.last["id"]:
             raise FileNotFoundError_(src)  # raced; client may retry
         if subtree_root_id is None and src_row["is_dir"]:
+            # rt: offpath(reason=directory rename probes for children; the pinned warm budget is the file rename)
             if self._has_children(tx, src_row):
                 return "subtree"
         if locked.get(dst_pk) is not None:
@@ -660,7 +669,7 @@ class InodeOpsMixin:
         """chmod. Non-empty directories escalate to a subtree operation."""
 
         def fn(tx: DALTransaction):
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             if row["is_dir"] and self._has_children(tx, row):
@@ -676,7 +685,7 @@ class InodeOpsMixin:
         """chown. Non-empty directories escalate to a subtree operation."""
 
         def fn(tx: DALTransaction):
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             if row["is_dir"] and self._has_children(tx, row):
@@ -695,7 +704,7 @@ class InodeOpsMixin:
             raise InvalidPathError("replication must be >= 1")
 
         def fn(tx: DALTransaction) -> bool:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             if row["is_dir"]:
@@ -703,7 +712,8 @@ class InodeOpsMixin:
             old = row["replication"]
             tx.update("inodes", self._row_pk(row),
                       {"replication": replication})
-            for block in tx.ppis("blocks", {"inode_id": row["id"]}):
+            for block in sorted(tx.ppis("blocks", {"inode_id": row["id"]}),
+                                key=lambda b: b["block_id"]):
                 blk.check_replication(tx, row["id"], block["block_id"],
                                       replication)
             quota_mod.enforce_and_queue(
@@ -761,7 +771,7 @@ class InodeOpsMixin:
                     return False
                 file_blocks = tx.ppis("blocks", {"inode_id": inode_id})
                 size = sum(b["size"] for b in file_blocks)
-                for block in file_blocks:
+                for block in sorted(file_blocks, key=lambda b: b["block_id"]):
                     if block["state"] == blk.BLOCK_STATE_UNDER_CONSTRUCTION:
                         blk.complete_block(tx, inode_id, block["block_id"])
                 tx.update("inodes", self._row_pk(row),
@@ -786,7 +796,7 @@ class InodeOpsMixin:
             raise InvalidPathError("xattr name must be non-empty")
 
         def fn(tx: DALTransaction) -> None:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             tx.write("xattrs", {"inode_id": row["id"], "name": name,
@@ -798,7 +808,7 @@ class InodeOpsMixin:
         """All extended attributes of a path (one partition-pruned scan)."""
 
         def fn(tx: DALTransaction) -> dict:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.SHARED)
             row = self._require(resolved)
             rows = tx.ppis("xattrs", {"inode_id": row["id"]})
@@ -808,7 +818,7 @@ class InodeOpsMixin:
 
     def remove_xattr(self, path: str, name: str) -> bool:
         def fn(tx: DALTransaction) -> bool:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = self._require(resolved)
             return tx.delete("xattrs", (row["id"], name), must_exist=False)

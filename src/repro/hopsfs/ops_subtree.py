@@ -177,7 +177,7 @@ class SubtreeOpsMixin:
             raise PermissionDeniedError(f"cannot run {op} on the root")
 
         def fn(tx: DALTransaction) -> dict:
-            resolved = self.resolver.resolve(tx, path,
+            resolved = self.resolver.resolve(tx, path,  # rt: cost(1, reason=warm resolve of a hinted existing path: one locked batched read)
                                              lock_last=LockMode.EXCLUSIVE)
             row = resolved.last
             if row is None:
@@ -299,6 +299,7 @@ class SubtreeOpsMixin:
         parent = "/" + "/".join(split_path(ctx.path)[:-1])
 
         def fn(tx: DALTransaction) -> None:
+            # rt: cost(1, reason=warm resolve of the hinted quiesced root: parent and target locked in one batched read)
             resolved = self.resolver.resolve(
                 tx, ctx.path, lock_last=LockMode.EXCLUSIVE,
                 lock_parent=LockMode.EXCLUSIVE, check_subtree_locks=False)

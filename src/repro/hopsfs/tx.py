@@ -312,6 +312,7 @@ class PathResolver:
             (hint.part_key, parent_id, name)
             for (_depth, parent_id, name, hint) in hints
         ]
+        # hfs: allow(HFS106, reason=keys are path-component pks in root-down depth order; the paper's hierarchical total order (section 3.4))
         rows = tx.read_batch("inodes", keys, locks=locks)
         for (_depth, parent_id, name, hint), row in zip(hints, rows,
                                                         strict=True):
@@ -392,6 +393,7 @@ class PathResolver:
         if not want:
             return
         if self._coalesced_locking and len(want) > 1:
+            # hfs: allow(HFS106, reason=want is built walking the resolved path root-down; depth order is the hierarchical total order (section 3.4))
             fresh = tx.read_batch("inodes", [pk for _i, pk, _m in want],
                                   locks=[m for _i, _pk, m in want])
         else:

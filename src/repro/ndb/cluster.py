@@ -181,18 +181,17 @@ class NDBCluster:
 
     @property
     def commit_log(self) -> list[CommitRecord]:
-        return self._commit_log.records
+        """A point-in-time copy of the durable commit log."""
+        return self._commit_log.snapshot()
 
     @commit_log.setter
     def commit_log(self, records: list[CommitRecord]) -> None:
-        self._commit_log.records = list(records)
+        self._commit_log.replace(records)
 
     @property
     def group_commit_stats(self) -> dict[str, int]:
         """Flush counters of the group-committed log (observability)."""
-        return {"flushes": self._commit_log.flushes,
-                "records": len(self._commit_log.records),
-                "max_batch": self._commit_log.max_batch}
+        return self._commit_log.stats()
 
     # -- shard executor ---------------------------------------------------------------
 
@@ -358,6 +357,9 @@ class NDBCluster:
         with gate:
             if tx.state is not TxState.ACTIVE:
                 raise TransactionAbortedError(f"tx {tx.tx_id} no longer active")
+            if self._locks.is_aborted(tx):
+                raise TransactionAbortedError(
+                    f"tx {tx.tx_id} aborted by coordinator failover")
             writes = tx._writes
             if not writes:
                 tx.state = TxState.COMMITTED
@@ -481,11 +483,9 @@ class NDBCluster:
                 for tx in list(self._active_txs.values()):
                     if tx.coordinator == node_id and tx.state is TxState.ACTIVE:
                         victims.append(tx)
+            # the abort mark fences the gap until the real abort below:
+            # lock acquires and _apply_commit both refuse marked owners
             self._locks.abort_waiters(victims)
-            for tx in victims:
-                tx.state = TxState.ABORTED
-                self._locks.release_all(tx)
-                self._forget_tx(tx)
             for pid, primary in list(self._primaries.items()):
                 if primary == node_id:
                     survivors = self.live_replicas(pid)
@@ -493,6 +493,10 @@ class NDBCluster:
                         self._primaries[pid] = survivors[0]
                     # else: node group down; reads will raise ClusterDownError
             self._invalidate_primary_cache()
+        # abort() takes each victim's commit mutex, which a commit blocked
+        # on the structure gate may hold — deadlock if done under the gate
+        for tx in victims:
+            tx.abort()
 
     def restart_node(self, node_id: int) -> None:
         """Node recovery: copy fragment replicas back from live peers."""
@@ -552,11 +556,9 @@ class NDBCluster:
         with self._structure_gate.write_locked():
             with self._registry_lock:
                 victims = list(self._active_txs.values())
+            # mark first (fences lock acquires and _apply_commit); the
+            # mutex-taking abort() happens after the gate, see node failover
             self._locks.abort_waiters(victims)
-            for tx in victims:
-                tx.state = TxState.ABORTED
-                self._locks.release_all(tx)
-                self._forget_tx(tx)
             target = self.completed_epoch
             # 1. restore LCP (or empty state)
             base: dict[tuple[str, int], dict] = self._lcp_snapshot or {}
@@ -584,7 +586,9 @@ class NDBCluster:
                 for pid in range(self.config.num_partitions)
             }
             self._invalidate_primary_cache()
-            return target
+        for tx in victims:
+            tx.abort()
+        return target
 
     def _undo(self, record: CommitRecord) -> None:
         for write in reversed(record.writes):

@@ -78,6 +78,22 @@ class GroupCommitLog:
         self.max_batch = 0       # guarded_by: _cond
         self.last_batch_size = 0  # guarded_by: _cond
 
+    def snapshot(self) -> list[CommitRecord]:
+        """A point-in-time copy of the durable log."""
+        with self._cond:
+            return list(self.records)
+
+    def replace(self, records: list[CommitRecord]) -> None:
+        """Swap the durable log wholesale (recovery truncation)."""
+        with self._cond:
+            self.records = list(records)
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {"flushes": self.flushes,
+                    "records": len(self.records),
+                    "max_batch": self.max_batch}
+
     def append(self, record: CommitRecord) -> int:
         """Stage ``record``, wait until flushed; returns the batch size
         the record was flushed in (1 when it flushed alone)."""

@@ -313,6 +313,11 @@ class LockManager:
             with stripe.cond:
                 stripe.cond.notify_all()
 
+    def is_aborted(self, owner: Hashable) -> bool:
+        """Whether ``owner`` carries a pending failover-abort mark."""
+        with self._abort_mutex:
+            return owner in self._aborted
+
     def holders(self, key: Any) -> dict[Hashable, LockMode]:
         stripe = self._stripe_of(key)
         with stripe.cond:

@@ -103,6 +103,7 @@ class Transaction:
             return
         keys = [(table, pk) for pk in pks]
         if self._cluster.config.batched_lock_acquisition:
+            # hfs: allow(HFS106, reason=DAL primitive; acquire_many's docstring contract requires keys already in the deadlock-free total order, linted at caller sites)
             self._cluster._locks.acquire_many(self, keys, mode, modes=modes)
         else:
             for i, key in enumerate(keys):
@@ -198,9 +199,11 @@ class Transaction:
                 raise SchemaError(
                     f"locks must parallel keys: {len(locks)} != {len(pks)}")
             any_locked = any(m is not LockMode.READ_COMMITTED for m in locks)
+            # hfs: allow(HFS106, reason=DAL primitive; read_batch callers own the pk sort contract (resolver passes root-down path order))
             self._lock_many(table, pks, lock, modes=locks)
         else:
             any_locked = lock is not LockMode.READ_COMMITTED
+            # hfs: allow(HFS106, reason=DAL primitive; read_batch callers own the pk sort contract (resolver passes root-down path order))
             self._lock_many(table, pks, lock)
         rows: list[Optional[dict[str, Any]]] = [None] * len(pks)
         by_shard: dict[int, list[int]] = {}

@@ -417,6 +417,7 @@ class NDBServer:
         tx, cursor = self._get_tx(state, params)
         keys = [protocol.decode_value(k) for k in params["keys"]]
         locks = params.get("locks")
+        # hfs: allow(HFS106, reason=server relays client-supplied keys verbatim; the ordering obligation is linted at the client call site)
         rows = tx.read_batch(params["table"], keys,
                              lock=_lock_mode(params.get("lock")),
                              locks=(None if locks is None else

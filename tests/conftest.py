@@ -4,6 +4,11 @@ Set ``REPRO_LOCK_WITNESS=1`` to record the lock-acquisition-order graph
 across the whole run (see :mod:`repro.analysis.lockwitness`); the session
 fails if the graph has a cycle or a SHARED->EXCLUSIVE upgrade. Tests that
 provoke deadlocks on purpose carry ``@pytest.mark.lock_witness_exempt``.
+
+Set ``REPRO_GUARD_SANITIZER=1`` to instrument every ``# guarded_by:``
+annotated attribute of the concurrent core (see
+:mod:`repro.analysis.guardsanitizer`); a test that touches one without
+its guard held fails with the offending sites listed.
 """
 
 import os
@@ -15,6 +20,7 @@ from repro.ndb import NDBConfig
 from repro.util.clock import ManualClock
 
 WITNESS_ENABLED = os.environ.get("REPRO_LOCK_WITNESS") == "1"
+SANITIZER_ENABLED = os.environ.get("REPRO_GUARD_SANITIZER") == "1"
 
 
 def pytest_configure(config):
@@ -25,6 +31,27 @@ def pytest_configure(config):
     if WITNESS_ENABLED:
         from repro.analysis.lockwitness import install_witness
         install_witness()
+    if SANITIZER_ENABLED:
+        from repro.analysis import guardsanitizer
+        guardsanitizer.install(os.path.join(str(config.rootpath),
+                                            "src", "repro"))
+
+
+@pytest.fixture(autouse=True)
+def _guard_sanitizer_gate():
+    """Fail the test that produced new guard-sanitizer violations."""
+    if not SANITIZER_ENABLED:
+        yield
+        return
+    from repro.analysis import guardsanitizer
+    before = len(guardsanitizer.VIOLATIONS)
+    yield
+    fresh = guardsanitizer.VIOLATIONS[before:]
+    if fresh:
+        pytest.fail(
+            "guard sanitizer: unguarded access to annotated attributes:\n"
+            + "\n".join("  " + v.render() for v in fresh),
+            pytrace=False)
 
 
 @pytest.fixture(autouse=True)
@@ -76,22 +103,46 @@ def pytest_sessionfinish(session, exitstatus):
         return
     report = witness.report()
     session.config._lock_witness_report = report
-    if not report.ok and session.exitstatus == 0:
-        session.exitstatus = 1
+    if not report.ok:
+        # export the acquisition graph (cycles highlighted) as a CI
+        # artifact alongside the flight-recorder dumps
         try:
-            from repro.metrics.flightrecorder import dump_all
-            dump_all(_flight_dump_dir(session.config),
-                     reason="lock_witness_finding")
+            artifact_dir = os.environ.get(
+                "REPRO_WITNESS_DIR",
+                os.path.join(str(session.config.rootpath), ".lock-witness"))
+            session.config._lock_witness_artifacts = witness.dump(
+                artifact_dir, report)
         except Exception:  # noqa: BLE001 - reporting must not break
             pass
+        if session.exitstatus == 0:
+            session.exitstatus = 1
+            try:
+                from repro.metrics.flightrecorder import dump_all
+                dump_all(_flight_dump_dir(session.config),
+                         reason="lock_witness_finding")
+            except Exception:  # noqa: BLE001 - reporting must not break
+                pass
 
 
 def pytest_terminal_summary(terminalreporter):
     report = getattr(terminalreporter.config, "_lock_witness_report", None)
-    if report is None:
-        return
-    terminalreporter.section("lock-order witness")
-    terminalreporter.write_line(report.render())
+    if report is not None:
+        terminalreporter.section("lock-order witness")
+        terminalreporter.write_line(report.render())
+        artifacts = getattr(terminalreporter.config,
+                            "_lock_witness_artifacts", None)
+        if artifacts:
+            terminalreporter.write_line(
+                "acquisition graph exported: " + ", ".join(artifacts))
+    if SANITIZER_ENABLED:
+        from repro.analysis import guardsanitizer
+        terminalreporter.section("guard sanitizer")
+        if guardsanitizer.VIOLATIONS:
+            for violation in guardsanitizer.VIOLATIONS:
+                terminalreporter.write_line(violation.render())
+        else:
+            terminalreporter.write_line(
+                "no unguarded accesses to annotated attributes")
 
 
 def make_hopsfs(num_namenodes=2, num_datanodes=3, clock=None,

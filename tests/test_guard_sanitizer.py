@@ -1,0 +1,212 @@
+"""Unit tests for the runtime guard sanitizer.
+
+These exercise the machinery directly (discovery, lock wrapping, the
+held-judgement dispatch, instrumentation) without needing
+``REPRO_GUARD_SANITIZER=1`` — classes are instrumented locally, never
+through :func:`install`, so the production tree stays untouched.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import guardsanitizer
+from repro.analysis.guardsanitizer import (
+    GuardSpec,
+    TrackedLock,
+    _guard_held,
+    _instrument,
+    discover,
+)
+from repro.util.rwlock import ReadWriteLock
+
+
+@pytest.fixture(autouse=True)
+def _scrub_violations():
+    """Deliberate violations must not leak into the session gate (and
+    the site-dedup set must not suppress them across tests)."""
+    before = len(guardsanitizer.VIOLATIONS)
+    seen = set(guardsanitizer._seen_sites)
+    yield
+    del guardsanitizer.VIOLATIONS[before:]
+    guardsanitizer._seen_sites.clear()
+    guardsanitizer._seen_sites.update(seen)
+
+
+def violations_since(n):
+    return guardsanitizer.VIOLATIONS[n:]
+
+
+# -- TrackedLock -----------------------------------------------------------------
+
+
+class TestTrackedLock:
+    def test_counts_holds_per_thread(self):
+        lock = TrackedLock(threading.Lock())
+        assert not lock.held()
+        with lock:
+            assert lock.held() and lock.locked()
+        assert not lock.held() and not lock.locked()
+
+    def test_other_threads_hold_is_not_ours(self):
+        lock = TrackedLock(threading.Lock())
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                acquired.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert acquired.wait(5)
+        try:
+            assert lock.locked() and not lock.held()
+        finally:
+            release.set()
+            thread.join(5)
+
+    def test_condition_over_tracked_lock_keeps_counts(self):
+        lock = TrackedLock(threading.Lock())
+        cond = threading.Condition(lock)
+        with cond:
+            assert lock.held()
+        assert not lock.held()
+
+
+# -- _guard_held dispatch ---------------------------------------------------------
+
+
+class TestGuardHeld:
+    def test_rlock_is_strong(self):
+        lock = threading.RLock()
+        assert _guard_held(lock, writes_only=False) is False
+        with lock:
+            assert _guard_held(lock, writes_only=False) is True
+
+    def test_condition_is_strong(self):
+        cond = threading.Condition()
+        assert _guard_held(cond, writes_only=False) is False
+        with cond:
+            assert _guard_held(cond, writes_only=False) is True
+
+    def test_rwlock_reader_counts_for_reads_not_writes(self):
+        rw = ReadWriteLock()
+        assert _guard_held(rw, writes_only=False) is False
+        with rw.read_locked():
+            assert _guard_held(rw, writes_only=False) is True
+            assert _guard_held(rw, writes_only=True) is False
+        with rw.write_locked():
+            assert _guard_held(rw, writes_only=True) is True
+
+    def test_plain_lock_is_weak_but_usable(self):
+        lock = threading.Lock()
+        assert _guard_held(lock, writes_only=False) is False
+        with lock:
+            assert _guard_held(lock, writes_only=False) is True
+
+    def test_unknown_object_gives_no_signal(self):
+        assert _guard_held("not a lock", writes_only=False) is None
+
+
+# -- discovery --------------------------------------------------------------------
+
+
+class TestDiscovery:
+    def test_production_tree_has_annotated_classes(self):
+        specs = discover("src/repro")
+        assert specs, "no guarded_by-annotated classes found"
+        all_specs = [s for per_cls in specs.values()
+                     for s in per_cls.values()]
+        # pseudo-guards (GIL / owner-thread) are never instrumented
+        assert all(s.lock_attr not in ("GIL", "owner-thread")
+                   for s in all_specs)
+        # every spec names the class, attribute and annotation site
+        assert all(s.cls and s.attr and s.path and s.line for s in all_specs)
+
+
+# -- instrumentation --------------------------------------------------------------
+
+
+def _make_box():
+    """A fresh locally-instrumented class (never the production tree)."""
+
+    class Box:
+        def __init__(self):
+            self._mutex = threading.Lock()
+            self._items = []
+            self._count = 0
+
+        def locked_add(self, item):
+            with self._mutex:
+                self._items.append(item)
+                self._count += 1
+
+        def unlocked_peek(self):
+            return len(self._items)
+
+    specs = {
+        "_items": GuardSpec(cls="t.Box", attr="_items", lock_attr="_mutex",
+                            writes_only=False, path="t.py", line=1),
+        "_count": GuardSpec(cls="t.Box", attr="_count", lock_attr="_mutex",
+                            writes_only=True, path="t.py", line=2),
+    }
+    _instrument(Box, specs)
+    return Box
+
+
+class TestInstrumentation:
+    def test_init_writes_are_exempt(self):
+        before = len(guardsanitizer.VIOLATIONS)
+        _make_box()()
+        assert violations_since(before) == []
+
+    def test_plain_guard_lock_gets_wrapped(self):
+        box = _make_box()()
+        assert isinstance(box.__dict__["_mutex"], TrackedLock)
+
+    def test_locked_access_is_clean(self):
+        box = _make_box()()
+        before = len(guardsanitizer.VIOLATIONS)
+        box.locked_add("x")
+        with box._mutex:
+            assert box._items == ["x"]
+        assert violations_since(before) == []
+
+    def test_unguarded_read_recorded(self):
+        box = _make_box()()
+        before = len(guardsanitizer.VIOLATIONS)
+        box.unlocked_peek()
+        fresh = violations_since(before)
+        assert [v.spec.attr for v in fresh] == ["_items"]
+        assert fresh[0].op == "read"
+        assert "t.Box._items" in fresh[0].render()
+
+    def test_unguarded_write_recorded(self):
+        box = _make_box()()
+        before = len(guardsanitizer.VIOLATIONS)
+        box._items = []
+        fresh = violations_since(before)
+        assert [(v.spec.attr, v.op) for v in fresh] == [("_items", "write")]
+
+    def test_writes_only_attr_allows_lock_free_reads(self):
+        box = _make_box()()
+        before = len(guardsanitizer.VIOLATIONS)
+        assert box._count == 0          # [writes] guard: reads are free
+        assert violations_since(before) == []
+        box._count = 5                  # ... but unguarded writes are not
+        assert [v.spec.attr for v in violations_since(before)] == ["_count"]
+
+    def test_duplicate_sites_deduplicated(self):
+        box = _make_box()()
+        before = len(guardsanitizer.VIOLATIONS)
+        for _ in range(3):
+            box.unlocked_peek()         # same code line each time
+        assert len(violations_since(before)) == 1
+
+    def test_instrument_is_idempotent(self):
+        cls = _make_box()
+        init = cls.__init__
+        _instrument(cls, {})
+        assert cls.__init__ is init

@@ -104,9 +104,10 @@ class TestReportTargets:
         fs, _client = loaded
         dn = fs.datanodes[0]
         target = fs.namenodes[1]
-        processor_counts_before = target.op_count.get("block_report_lookup")
+        processor_counts_before = target.op_counts().get(
+            "block_report_lookup", 0)
         fs.send_block_report(dn.dn_id, namenode=target)
-        assert (target.op_count.get("block_report_lookup")
+        assert (target.op_counts().get("block_report_lookup", 0)
                 > processor_counts_before)
 
     def test_fresh_namenode_can_process_reports(self, loaded):

@@ -4,29 +4,57 @@ Every cell here is an *exact* count of database round trips per warm
 metadata operation, read off the namenode's ``db_round_trips_total``
 counter. The counts are deterministic — the engine counts one round
 trip per batched access — so any drift means someone added or removed
-a database access on the hot path. If a change legitimately alters a
-budget (e.g. a new feature genuinely needs another read), update the
-table *in the same PR* and say why in the commit.
+a database access on the hot path.
+
+The expected values are NOT duplicated here: they come from the shared
+budget table in :mod:`repro.analysis.budgets`, the same table the static
+analyzer (HFS105) checks its derived bounds against. The contract:
+
+* static side — ``python -m repro.analysis budgets`` derives a symbolic
+  warm bound for every ``_fs_op`` callback and fails when it differs
+  from the table;
+* runtime side — these tests measure real operations and pin the
+  measured round trips to the table entries (with workload symbols
+  bound to the scenario's sizes).
+
+A new helper that adds a round trip therefore fails the linter, and an
+analyzer bug that undercounts fails the runtime pin. If a change
+legitimately alters a budget, update ``OP_BUDGETS`` *in the same PR*
+and say why in the commit.
 
 The legacy-toggle cells pin the "before" behaviour the benchmarks
 compare against (``BENCH_hotpath.json``): with
 ``resolver_coalesced_locking=False`` the resolver re-reads the locked
 parent/last components after the batched resolve, which is exactly one
-extra round trip on stat and two on parent+child write ops.
+extra round trip on stat and two on parent+child write ops. Legacy
+numbers live here (not in the table) — the analyzer only models the
+optimized warm path.
 """
 
 import pytest
 
+from repro.analysis.budgets import budget_for
+from repro.hopsfs.blockreport import BlockReportProcessor
 from repro.ndb.stats import AccessKind, AccessStats
 from tests.conftest import make_hopsfs
 
-#: exact db round trips per warm operation: (optimized, legacy resolver)
-BUDGETS = {
-    "stat": (1, 2),
-    "mkdir": (5, 7),
-    "create": (5, 7),
-    "rename": (8, 8),
+#: measured client-facing op -> ``_fs_op`` name in the budget table
+OP_TABLE_KEYS = {
+    "stat": "stat",
+    "mkdir": "mkdirs",
+    "create": "create",
+    "rename": "rename",
 }
+
+#: extra round trips under the legacy (non-coalescing) resolver: one
+#: re-read on stat, two (parent + child) on parent-mutating write ops.
+LEGACY_EXTRA = {"stat": 1, "mkdir": 2, "create": 2, "rename": 0}
+
+
+def _budget(op_name: str, **bounds: int) -> int:
+    budget = budget_for(op_name)
+    assert budget is not None, f"no budget table entry for {op_name!r}"
+    return budget.cost.evaluate(**bounds)
 
 
 def _warm_namenode(**config_overrides):
@@ -59,17 +87,18 @@ def _measure(nn, repeat: int = 3):
     return used
 
 
-def test_optimized_budgets_are_exact():
+def test_optimized_budgets_match_shared_table():
     nn = _warm_namenode()
     used = _measure(nn)
-    expected = {op: budget[0] for op, budget in BUDGETS.items()}
+    expected = {op: _budget(key) for op, key in OP_TABLE_KEYS.items()}
     assert used == expected
 
 
 def test_legacy_resolver_budgets_are_exact():
     nn = _warm_namenode(resolver_coalesced_locking=False)
     used = _measure(nn)
-    expected = {op: budget[1] for op, budget in BUDGETS.items()}
+    expected = {op: _budget(key) + LEGACY_EXTRA[op]
+                for op, key in OP_TABLE_KEYS.items()}
     assert used == expected
 
 
@@ -83,8 +112,94 @@ def test_warm_stat_is_one_batched_read():
     total = nn.metrics.counter("db_round_trips_total")
     b0, t0 = batched.value, total.value
     nn.get_file_info("/a/b/g0")
-    assert total.value - t0 == 1
+    assert total.value - t0 == _budget("stat") == 1
     assert batched.value - b0 == 1
+
+
+class TestSubtreeBudgets:
+    """Pin the subtree-delete protocol phases to the shared table.
+
+    A warm recursive delete of a small directory is four budgeted ops in
+    sequence: ``delete_subtree_lock`` (lock the root, §6.1),
+    ``subtree_quiesce`` (wait out in-flight ops below it),
+    ``subtree_delete_batch`` per batch (here one batch of ``node``
+    leaf rows), and ``delete_subtree_root`` (unlink the quiesced root).
+    """
+
+    def test_warm_subtree_delete_matches_composite_budget(self):
+        fs = make_hopsfs(num_namenodes=1)
+        nn = fs.namenodes[0]
+        # warm with a sibling subtree of the same shape
+        nn.mkdirs("/w")
+        nn.create("/w/f0", client="c")
+        nn.create("/w/f1", client="c")
+        nn.delete_subtree("/w")
+        nn.mkdirs("/s")
+        nn.create("/s/f0", client="c")
+        nn.create("/s/f1", client="c")
+        counter = nn.metrics.counter("db_round_trips_total")
+        before = counter.value
+        # delete_subtree directly: the recursive `delete` entry point adds
+        # a dispatch probe (inline delete op, read-only abort) on top
+        assert nn.delete_subtree("/s")
+        used = int(counter.value - before)
+        expected = (
+            _budget("delete_subtree_lock")
+            + _budget("subtree_quiesce")
+            # one batch deleting the two (zero-block) leaf files
+            + _budget("subtree_delete_batch", node=2, block=0, replica=0)
+            + _budget("delete_subtree_root")
+        )
+        assert used == expected
+
+
+class TestBlockReportBudgets:
+    """Pin block-report reconciliation (§7.7) to the shared table.
+
+    Steady state (nothing to reconcile) is the per-batch lookup plus the
+    per-datanode replica view. Add/drop reconciliation pays one more
+    budgeted op per touched inode; an empty report skips the lookup op
+    entirely (no block ids to resolve).
+    """
+
+    @pytest.fixture
+    def reporting(self):
+        fs = make_hopsfs(num_namenodes=1, num_datanodes=2)
+        client = fs.client("br")
+        client.mkdirs("/d")
+        client.write_file("/d/f", b"x" * 10, replication=1)
+        nn = fs.any_namenode()
+        dn = max(fs.datanodes, key=lambda d: d.block_count())
+        proc = BlockReportProcessor(nn)
+        proc.process(dn.dn_id, dn.block_report())  # warm caches
+        return nn, dn, proc
+
+    def _delta(self, nn, fn):
+        counter = nn.metrics.counter("db_round_trips_total")
+        before = counter.value
+        fn()
+        return int(counter.value - before)
+
+    def test_steady_state_report(self, reporting):
+        nn, dn, proc = reporting
+        used = self._delta(
+            nn, lambda: proc.process(dn.dn_id, dn.block_report()))
+        assert used == (_budget("block_report_lookup")
+                        + _budget("block_report_dbview"))
+
+    def test_drop_then_readd_one_replica(self, reporting):
+        nn, dn, proc = reporting
+        report = dn.block_report()
+        # empty report: no lookup batches run, one drop op removes the
+        # replica row (extra=0: replication target 1, no re-replication)
+        used = self._delta(nn, lambda: proc.process(dn.dn_id, []))
+        assert used == (_budget("block_report_dbview")
+                        + _budget("block_report_drop", extra=0))
+        # re-report: lookup + view + one add op finalizing 1 block
+        used = self._delta(nn, lambda: proc.process(dn.dn_id, report))
+        assert used == (_budget("block_report_lookup")
+                        + _budget("block_report_dbview")
+                        + _budget("block_report_add", block=1, extra=0))
 
 
 def test_round_trip_budget_view():
