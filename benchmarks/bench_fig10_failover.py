@@ -6,6 +6,11 @@ operation completes, then service resumes. HopsFS: killing namenodes
 (round-robin, sticky clients, no new clients joining) never interrupts
 service; throughput steps down gradually as surviving namenodes absorb
 the clients.
+
+This file reproduces the figure on the discrete-event performance
+model; ``bench_failover_chaos.py`` measures the same failure modes on
+the real implementation via the fault-injection subsystem and records
+the observed unavailability windows in ``BENCH_failover_chaos.json``.
 """
 
 import pytest

@@ -54,6 +54,7 @@ class HopsShell:
             "kill-nn": self._kill_nn,
             "decommission": self._decommission,
             "tick": self._tick,
+            "faults": self._faults,
             "metrics": self._metrics,
             "trace": self._trace,
             "help": self._help,
@@ -253,6 +254,44 @@ class HopsShell:
     def _tick(self, args: list[str]) -> str:
         commands = self.cluster.tick()
         return f"housekeeping round done ({commands} datanode commands)"
+
+    def _faults(self, args: list[str]) -> str:
+        """``faults load <plan.json>`` | ``faults status`` |
+        ``faults fired`` | ``faults clear`` (docs/robustness.md)."""
+        from repro import faults
+
+        sub = args[0] if args else "status"
+        if sub == "load":
+            if len(args) != 2:
+                raise CommandError("faults load <plan.json>")
+            with open(args[1], encoding="utf-8") as fh:
+                plan = faults.FaultPlan.from_dict(json.load(fh))
+            injector = faults.FaultInjector(
+                plan, registry=self.cluster.metrics_registry())
+            faults.install(injector)
+            return (f"installed fault plan {plan.name or '(unnamed)'} "
+                    f"(seed={plan.seed}, {len(plan.specs)} specs)")
+        if sub == "status":
+            injector = faults.active()
+            if injector is None:
+                return "no fault plan installed"
+            plan = injector.plan
+            counts = injector.counts()
+            lines = [f"plan {plan.name or '(unnamed)'} seed={plan.seed} "
+                     f"specs={len(plan.specs)} fired={len(injector.fired)}"]
+            lines += [f"  {site}: {n}" for site, n in sorted(counts.items())]
+            return "\n".join(lines)
+        if sub == "fired":
+            injector = faults.active()
+            if injector is None:
+                return "no fault plan installed"
+            return json.dumps([list(k) for k in injector.fired_keys()])
+        if sub == "clear":
+            previous = faults.uninstall()
+            return ("cleared fault plan" if previous is not None
+                    else "no fault plan installed")
+        raise CommandError("faults [load <plan.json> | status | fired | "
+                           "clear]")
 
     def _metrics(self, args: list[str]) -> str:
         from repro.metrics import export

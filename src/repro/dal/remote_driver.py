@@ -42,27 +42,28 @@ verification and the performance model see embedded-identical numbers.
 
 from __future__ import annotations
 
+import random
 import threading
-import time
 from typing import Any, Callable, Mapping, Optional, Sequence, TypeVar
 
 from repro.dal.driver import DALDriver
 from repro.errors import (
     CommitAmbiguousError,
     ConnectionClosedError,
-    DeadlockError,
-    LockTimeoutError,
     RequestTimeoutError,
     TransactionAbortedError,
 )
-from repro.metrics.tracing import (add_event, attempt_span, current_registry,
-                                   span)
+from repro.faults import fault_point
+from repro.faults.plan import FaultPlan
+from repro.metrics.tracing import current_registry, span
 from repro.ndb.locks import LockMode
 from repro.ndb.schema import TableSchema
+from repro.ndb.session import run_in_session
 from repro.ndb.stats import AccessStats
 from repro.ndb.transaction import Predicate, TxState
 from repro.rpc import protocol
 from repro.rpc.conn import ClientConn, dial
+from repro.util.retry import Deadline, RetryPolicy
 
 T = TypeVar("T")
 
@@ -317,33 +318,9 @@ class RemoteSession:
     def run(self, fn: Callable[[RemoteTransaction], T],
             hint: Optional[tuple[str, Mapping[str, Any]]] = None,
             retries: int = 5) -> T:
-        last_exc: Exception = TransactionAbortedError("no attempts made")
-        for attempt in range(max(1, retries)):
-            tx = self._driver._begin(hint)
-            try:
-                # attempt 0 is implicit (execute = root self time)
-                with attempt_span(attempt):
-                    result = fn(tx)
-                if tx.state is TxState.ACTIVE:
-                    tx.commit()
-                self.stats.merge(tx.stats)
-                return result
-            except (DeadlockError, LockTimeoutError,
-                    TransactionAbortedError) as exc:
-                tx.abort()
-                self.stats.merge(tx.stats)
-                self.retries_used += 1
-                add_event("tx_retry", reason=type(exc).__name__)
-                registry = current_registry()
-                if registry is not None:
-                    registry.inc("ndb_tx_retries_total",
-                                 reason=type(exc).__name__)
-                last_exc = exc
-            except Exception:
-                tx.abort()
-                self.stats.merge(tx.stats)
-                raise
-        raise last_exc
+        # the exact same loop as the embedded session: the shared policy
+        # retries abort-class errors and refuses CommitAmbiguousError
+        return run_in_session(self, fn, hint=hint, retries=retries)
 
     def reset_stats(self) -> AccessStats:
         stats, self.stats = self.stats, AccessStats()
@@ -359,6 +336,8 @@ class RemoteDriver(DALDriver):
                  connect_timeout: float = 5.0,
                  max_reconnect_attempts: int = 5,
                  reconnect_backoff: float = 0.05,
+                 reconnect_backoff_max: float = 2.0,
+                 op_deadline: Optional[float] = None,
                  pool_size: int = 16,
                  pipeline_writes: bool = False,
                  client_name: str = "remote-dal") -> None:
@@ -374,6 +353,20 @@ class RemoteDriver(DALDriver):
         self.pool_size = pool_size
         self.pipeline_writes = pipeline_writes
         self.client_name = client_name
+        #: wall-clock budget for one driver-level call *including* its
+        #: reconnect retries; propagated into each request's socket
+        #: timeout so the last attempt shrinks instead of overshooting
+        self.op_deadline = op_deadline
+        #: the shared jittered policy drives every reconnect cycle
+        self.dial_policy = RetryPolicy(
+            max_attempts=max(1, max_reconnect_attempts),
+            base_delay=reconnect_backoff, max_delay=reconnect_backoff_max,
+            jitter=True)
+        self._dial_rng = random.Random()  # guarded_by: GIL
+        #: lifetime count of redial attempts after connection loss (the
+        #: registry counter ``rpc_client_reconnects_total`` mirrors it)
+        self.reconnects = 0  # guarded_by: GIL
+        self._dialed_once = False  # guarded_by: GIL
         self._pool: list[ClientConn] = []  # guarded_by: _pool_lock
         self._pool_lock = threading.Lock()
         self._server_info: Optional[dict[str, Any]] = None  # guarded_by: GIL
@@ -381,18 +374,33 @@ class RemoteDriver(DALDriver):
 
     # -- connection pool -------------------------------------------------------
 
-    def _dial(self) -> ClientConn:
-        """One connection attempt cycle: bounded retries with backoff."""
+    def _count_reconnect(self) -> None:
+        self.reconnects += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("rpc_client_reconnects_total")
+
+    def _dial(self, deadline: Optional[Deadline] = None) -> ClientConn:
+        """One connection attempt cycle: the shared jittered policy
+        (full-jitter exponential backoff, a supervisor may be respawning
+        the server), bounded by attempts and an optional deadline."""
         last_exc: Optional[Exception] = None
-        backoff = self.reconnect_backoff
-        for attempt in range(max(1, self.max_reconnect_attempts)):
-            if attempt:
-                time.sleep(backoff)
-                backoff *= 2
+        for attempt in self.dial_policy.attempts(rng=self._dial_rng,
+                                                 deadline=deadline):
+            if attempt or self._dialed_once:
+                # every dial after the first-ever connection (or after a
+                # failed attempt) is a reconnect
+                self._count_reconnect()
+            if fault_point("dal.remote.dial", attempt=attempt):
+                last_exc = ConnectionClosedError("injected dial failure")
+                continue
+            connect_timeout = self.connect_timeout
+            if deadline is not None:
+                connect_timeout = deadline.clamp(connect_timeout)
             try:
                 sock = dial(self.host, self.port, unix_path=self.unix_path,
                             timeout=self.timeout,
-                            connect_timeout=self.connect_timeout)
+                            connect_timeout=connect_timeout)
             except OSError as exc:
                 last_exc = exc
                 continue
@@ -405,6 +413,7 @@ class RemoteDriver(DALDriver):
                 conn.close()
                 raise
             self._server_info = info
+            self._dialed_once = True
             return conn
         where = (self.unix_path if self.unix_path is not None
                  else f"{self.host}:{self.port}")
@@ -412,13 +421,21 @@ class RemoteDriver(DALDriver):
             f"cannot reach server at {where} after "
             f"{self.max_reconnect_attempts} attempts: {last_exc}")
 
-    def _checkout(self) -> ClientConn:
-        with self._pool_lock:
-            while self._pool:
+    def _checkout(self, deadline: Optional[Deadline] = None) -> ClientConn:
+        while True:
+            with self._pool_lock:
+                if not self._pool:
+                    break
                 conn = self._pool.pop()
-                if not conn.closed:
-                    return conn
-        return self._dial()
+            if conn.closed:
+                continue
+            # injected pool poisoning: the checked-out connection is
+            # already dead, forcing a redial storm
+            if fault_point("dal.remote.pool.checkout"):
+                conn.close()
+                continue
+            return conn
+        return self._dial(deadline=deadline)
 
     def _checkin(self, conn: ClientConn, reusable: bool = True) -> None:
         if not reusable or conn.closed or conn.pipelined or self._closed:
@@ -452,19 +469,37 @@ class RemoteDriver(DALDriver):
         Idempotent reads retry across a reconnect (each retry cycle
         itself dials with backoff); non-idempotent calls fail fast on
         connection loss — the caller cannot know whether they applied.
+        The driver's ``op_deadline`` bounds the whole cycle and is
+        clamped into each request's socket timeout.
         """
         attempts = self.max_reconnect_attempts if idempotent else 1
+        deadline = Deadline(self.op_deadline)
         last_exc: Exception = ConnectionClosedError("no attempts made")
         for _attempt in range(max(1, attempts)):
-            conn = self._checkout()
+            if _attempt and deadline.expired():
+                break
+            conn = self._checkout(deadline=deadline)
             try:
-                result = conn.call(method, params or {})
+                result = self._timed_call(conn, deadline, method,
+                                          params or {})
             except _CONN_ERRORS as exc:
                 last_exc = exc
                 continue  # conn is closed; next checkout redials
             self._checkin(conn)
             return result
         raise last_exc
+
+    def _timed_call(self, conn: ClientConn, deadline: Deadline,
+                    method: str, params: Mapping[str, Any]) -> Any:
+        """One request with its socket timeout clamped to the deadline."""
+        if deadline.unbounded:
+            return conn.call(method, params)
+        conn.settimeout(deadline.clamp(self.timeout))
+        try:
+            return conn.call(method, params)
+        finally:
+            if not conn.closed:
+                conn.settimeout(self.timeout)
 
     def _begin(self, hint: Optional[tuple[str, Mapping[str, Any]]]
                ) -> RemoteTransaction:
@@ -549,6 +584,18 @@ class RemoteDriver(DALDriver):
         return {int(pid): [[protocol.decode_value(row) for row in replica]
                            for replica in replicas]
                 for pid, replicas in raw.items()}
+
+    def install_faults(self, plan: FaultPlan) -> dict:
+        """Ship a fault plan to the server process (chaos runs install
+        plans into supervised workers over the normal protocol)."""
+        return self._call("faults.install", {"plan": plan.to_dict()})
+
+    def clear_faults(self) -> dict:
+        return self._call("faults.clear", idempotent=True)
+
+    def fired_faults(self) -> dict:
+        """The server-side firing log (replay-determinism evidence)."""
+        return self._call("faults.fired", idempotent=True)
 
     def metrics_snapshot(self, include_samples: bool = True) -> dict:
         return self._call("metrics",

@@ -17,6 +17,14 @@ class ReproError(Exception):
     """Root of all exceptions deliberately raised by this library."""
 
 
+class InjectedFaultError(ReproError):
+    """Default error raised by a fired fault-injection spec.
+
+    Chaos tests use it when they want an unambiguous "this failure was
+    injected" signal rather than impersonating a real error class.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Database layer
 # ---------------------------------------------------------------------------
@@ -120,6 +128,15 @@ class RemoteCallError(RPCError):
     """The server raised an exception type unknown to this client."""
 
 
+class CrashLoopError(RPCError):
+    """A supervised server process keeps dying right after respawn.
+
+    Raised by the supervisor once the respawn backoff cap is exhausted:
+    spinning on a server that crashes within its crash-loop window only
+    burns CPU and hides the real failure.
+    """
+
+
 # ---------------------------------------------------------------------------
 # File system layer
 # ---------------------------------------------------------------------------
@@ -197,3 +214,13 @@ class SafeModeError(RetriableError):
 
 class StandbyError(RetriableError):
     """Operation sent to an HDFS standby namenode; retry on the active."""
+
+
+class DegradedModeError(RetriableError):
+    """The namenode is in read-only degraded mode and rejects mutations.
+
+    Entered when the commit failure rate trips the configured threshold
+    (the database is sick); reads keep being served. Retriable: another
+    namenode may still be healthy, and this one exits degraded mode as
+    soon as a write probe succeeds.
+    """

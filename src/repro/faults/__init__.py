@@ -1,0 +1,40 @@
+"""Deterministic, seeded fault injection (docs/robustness.md).
+
+Public surface:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — the declarative, JSON-able
+  schedule of faults;
+* :class:`FaultInjector` — evaluates a plan; every firing is recorded
+  for replay verification;
+* :func:`fault_point` — the site call embedded in production code
+  (free when nothing is installed);
+* :func:`install` / :func:`uninstall` / :func:`installed` — process-wide
+  activation;
+* :class:`DropConnection` — the injected transport-kill signal the RPC
+  server translates into a silent socket close.
+"""
+
+from repro.faults.injector import (
+    DropConnection,
+    FaultInjector,
+    active,
+    fault_point,
+    install,
+    installed,
+    uninstall,
+)
+from repro.faults.plan import ACTIONS, FaultPlan, FaultSpec, FiredFault
+
+__all__ = [
+    "ACTIONS",
+    "DropConnection",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "active",
+    "fault_point",
+    "install",
+    "installed",
+    "uninstall",
+]

@@ -70,6 +70,22 @@ class HopsFSConfig:
     #: directory for automatic flight-recorder dumps (None: only the
     #: $REPRO_FLIGHT_DIR environment variable enables auto-dumps)
     flight_dump_dir: str | None = None
+    #: graceful degradation (docs/robustness.md): when enabled, a
+    #: namenode whose recent commit failure rate trips the threshold
+    #: enters *read-only degraded mode* — reads/stats keep being served
+    #: from the database, mutations are rejected with a typed
+    #: :class:`~repro.errors.DegradedModeError` until a write probe
+    #: succeeds. Off by default: abort storms in small test clusters are
+    #: routine and must not flip namenodes read-only mid-suite.
+    degraded_mode_enabled: bool = False
+    #: abort-class failure rate over the window that trips degraded mode
+    degraded_failure_threshold: float = 0.5
+    #: sliding window of recent operation outcomes
+    degraded_window: int = 32
+    #: outcomes required in the window before the trip can fire
+    degraded_min_samples: int = 8
+    #: seconds between write probes while degraded (clock-driven)
+    degraded_probe_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.random_partition_depth < 0:
@@ -97,3 +113,13 @@ class HopsFSConfig:
         if self.flight_storm_window < self.flight_storm_threshold:
             raise ValueError(
                 "flight_storm_window must be >= flight_storm_threshold")
+        if not (0.0 < self.degraded_failure_threshold <= 1.0):
+            raise ValueError(
+                "degraded_failure_threshold must be in (0, 1]")
+        if self.degraded_window < 1:
+            raise ValueError("degraded_window must be >= 1")
+        if not (1 <= self.degraded_min_samples <= self.degraded_window):
+            raise ValueError(
+                "degraded_min_samples must be in [1, degraded_window]")
+        if self.degraded_probe_interval < 0:
+            raise ValueError("degraded_probe_interval must be >= 0")

@@ -18,6 +18,8 @@ import threading
 from collections import OrderedDict
 from typing import Optional
 
+from repro.faults import fault_point
+
 
 class InodeHint:
     """Cached primary-key information for one inode.
@@ -51,8 +53,13 @@ class InodeHintCache:
 
     def get(self, parent_id: int, name: str) -> Optional[InodeHint]:
         key = (parent_id, name)
+        # chaos: a veto here simulates hint-cache staleness — the lookup
+        # counts as a miss and resolution falls back to the recursive
+        # path, exactly as after a primary-key-changing move (§5.1)
+        stale = fault_point("hopsfs.hintcache.get", parent_id=parent_id,
+                            name=name)
         with self._mutex:
-            hint = self._entries.get(key)
+            hint = None if stale else self._entries.get(key)
             if hint is None:
                 self._misses += 1
                 return None

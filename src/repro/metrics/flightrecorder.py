@@ -131,6 +131,16 @@ class FlightRecorder:
         if storm:
             self._auto_dump("abort_storm")
 
+    def note(self, op: str) -> OpRecord:
+        """Record an instantaneous event (e.g. an injected fault) as a
+        zero-duration op, without touching the abort-storm window."""
+        with self._lock:
+            self._seq += 1
+            record = OpRecord(op, self._seq)
+            record.end = record.start
+            self._ops.append(record)
+        return record
+
     def keep_trace(self, trace: Trace) -> None:
         """Keep a full span tree (failed/retried/slow ops; tracer hook)."""
         with self._lock:

@@ -30,16 +30,16 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
+from dataclasses import replace
 from typing import Any, Callable, Mapping, Optional, TypeVar
 
 from repro.errors import (
     ClusterDownError,
-    DeadlockError,
-    LockTimeoutError,
     NoSuchTableError,
     SchemaError,
     TransactionAbortedError,
 )
+from repro.faults import fault_point
 from repro.metrics.registry import handle_cache
 from repro.metrics.tracing import TraceContext, current_registry, span
 from repro.ndb.config import NDBConfig
@@ -320,23 +320,25 @@ class NDBCluster:
                            retries: int = 5) -> T:
         """Run ``fn`` in a transaction, retrying on lock conflicts.
 
-        Retries on :class:`DeadlockError`, :class:`LockTimeoutError` and
-        :class:`TransactionAbortedError` (the standard NDB client pattern).
+        Retries per the shared transaction policy (deadlock, lock
+        timeout, transaction abort — the standard NDB client pattern).
         """
+        from repro.ndb.session import TX_RETRY_POLICY
+
+        policy = replace(TX_RETRY_POLICY, max_attempts=max(1, retries))
         last_exc: Exception = TransactionAbortedError("no attempts made")
-        for _attempt in range(max(1, retries)):
+        for _attempt in policy.attempts():
             tx = self.begin(hint)
             try:
                 result = fn(tx)
                 if tx.state is TxState.ACTIVE:
                     tx.commit()
                 return result
-            except (DeadlockError, LockTimeoutError, TransactionAbortedError) as exc:
+            except Exception as exc:
                 tx.abort()
+                if not policy.is_retryable(exc):
+                    raise
                 last_exc = exc
-            except Exception:
-                tx.abort()
-                raise
         raise last_exc
 
     # -- commit application --------------------------------------------------------------
@@ -352,6 +354,10 @@ class NDBCluster:
         and appends its own redo records; the cluster-level commit record
         goes through the group-committed log afterwards.
         """
+        # abortable site: fires before any replica applied anything, so an
+        # injected error is a clean abort the standard retry loop handles
+        fault_point("ndb.commit.before_apply", tx_id=tx.tx_id,
+                    coordinator=tx.coordinator)
         gate = (self._structure_gate.write_locked() if self.config.serial_commit
                 else self._structure_gate.read_locked())
         with gate:
@@ -400,6 +406,10 @@ class NDBCluster:
                                      for _p, _b, wrec in batch})
 
                     def apply_batch() -> None:
+                        # stall-only site (a datanode pausing mid-2PC):
+                        # replicas may already hold this batch partially,
+                        # so plans must not inject errors here
+                        fault_point("ndb.commit.participant", node=node_id)
                         started = time.perf_counter()
                         with span("commit.participant", node=node_id,
                                   node_group=group,

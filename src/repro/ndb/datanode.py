@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.faults import fault_point
 from repro.metrics.tracing import span
 from repro.ndb.fragment import Fragment
 from repro.ndb.schema import TableSchema
@@ -97,6 +98,11 @@ class GroupCommitLog:
     def append(self, record: CommitRecord) -> int:
         """Stage ``record``, wait until flushed; returns the batch size
         the record was flushed in (1 when it flushed alone)."""
+        # stall-only site (slow log device / flush hiccup): fires before
+        # staging, so a delay here exercises group-commit batching under
+        # back-pressure; an injected error would strand already-applied
+        # replica writes, so plans must not raise at this site
+        fault_point("ndb.log.flush", tx_id=record.tx_id, epoch=record.epoch)
         with self._cond:
             seq = self._next_seq
             self._next_seq += 1

@@ -41,6 +41,7 @@ from collections import deque
 from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAbortedError
+from repro.faults import fault_point
 from repro.metrics.tracing import current_registry
 from repro.metrics.tracing import span as trace_span
 
@@ -165,6 +166,7 @@ class LockManager:
         """
         if mode is LockMode.READ_COMMITTED:
             return
+        fault_point("ndb.lock.acquire", mode=mode.value)
         witness = LockManager._witness
         if witness is not None:
             witness.row_requested(self, owner, key, mode.value)
@@ -251,6 +253,7 @@ class LockManager:
                       if kmode is not LockMode.READ_COMMITTED]
         if not wanted:
             return
+        fault_point("ndb.lock.acquire", mode=mode.value, batch=len(wanted))
         witness = LockManager._witness
         granted = 0
         entered: list[_Stripe] = []

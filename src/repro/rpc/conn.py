@@ -25,6 +25,7 @@ from repro.errors import (
     ProtocolError,
     RequestTimeoutError,
 )
+from repro.faults import fault_point
 from repro.rpc import protocol
 
 
@@ -139,11 +140,15 @@ class ClientConn:
         first_error: Optional[Mapping[str, Any]] = None
         while self._pipelined:
             response = self._conn.recv()
-            req_id = self._pipelined.pop(0)
-            if response.get("id") != req_id:
+            got = response.get("id")
+            req_id = self._pipelined[0]
+            if isinstance(got, int) and got < req_id:
+                continue  # stale duplicate of an already-answered request
+            self._pipelined.pop(0)
+            if got != req_id:
                 self._conn.close()
                 raise ProtocolError(
-                    f"response id {response.get('id')!r} does not match "
+                    f"response id {got!r} does not match "
                     f"pipelined request {req_id}")
             if response.get("ok"):
                 if self.on_pipelined_result is not None:
@@ -158,8 +163,16 @@ class ClientConn:
 
     # -- internals -------------------------------------------------------------
 
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Adjust the per-request socket deadline (deadline clamping)."""
+        self._conn.settimeout(timeout)
+
     def _send(self, method: str,
               params: Optional[Mapping[str, Any]]) -> int:
+        # injected connection reset: close before sending so the send
+        # (or the response read) fails exactly like a TCP RST would
+        if fault_point("rpc.client.send", method=method):
+            self._conn.close()
         self._next_id += 1
         req_id = self._next_id
         self._conn.send(protocol.request(req_id, method, params))
@@ -179,6 +192,11 @@ class ClientConn:
                     pipelined_error = response.get("error", {})
                 continue
             if got != req_id:
+                # duplicates of already-answered responses (delivered
+                # twice by a flaky server) have older ids — ignore them;
+                # an id from the *future* is a real protocol violation
+                if isinstance(got, int) and got < req_id:
+                    continue
                 self._conn.close()
                 raise ProtocolError(
                     f"response id {got!r} does not match request {req_id}")

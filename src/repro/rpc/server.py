@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import itertools
+import json
 import os
 import signal
 import socket
@@ -37,9 +38,11 @@ import threading
 import time
 from typing import Any, Mapping, Optional
 
+from repro import faults
 from repro.dal.driver import DALDriver
 from repro.dal.ndb_driver import NDBDriver
 from repro.errors import RPCError, ServerShutdownError, TransactionAbortedError
+from repro.faults import DropConnection, FaultInjector, FaultPlan, fault_point
 from repro.metrics import export
 from repro.metrics.flightrecorder import FlightRecorder
 from repro.metrics.registry import MetricsRegistry
@@ -72,7 +75,8 @@ class _ConnState:
         self.txs: dict[int, tuple[Any, StatsCursor]] = {}  # guarded_by: lock
         self.lock = threading.Lock()  # conn thread vs shutdown-time abort
 
-    def abort_all(self) -> None:
+    def abort_all(self) -> int:
+        """Abort every open transaction; returns how many were aborted."""
         with self.lock:
             victims = list(self.txs.values())
             self.txs.clear()
@@ -81,6 +85,7 @@ class _ConnState:
                 tx.abort()
             except Exception:  # noqa: BLE001 - teardown is best effort
                 pass
+        return len(victims)
 
     def open_tx_count(self) -> int:
         with self.lock:
@@ -142,6 +147,9 @@ class NDBServer:
             "metrics": self._h_metrics,
             "flight_dump": self._h_flight_dump,
             "admin": self._h_admin,
+            "faults.install": self._h_faults_install,
+            "faults.clear": self._h_faults_clear,
+            "faults.fired": self._h_faults_fired,
             "shutdown": self._h_shutdown,
         }
 
@@ -198,12 +206,15 @@ class NDBServer:
             if not open_txs:
                 break
             time.sleep(0.01)
-        # abort the rest and kick the connections loose
+        # abort the rest and kick the connections loose; every transaction
+        # silently aborted here missed the drain window, which the
+        # shutdown metrics snapshot must admit to
         with self._mutex:
             states = list(self._states)
             threads = list(self._conn_threads)
-        for state in states:
-            state.abort_all()
+        drain_aborted = sum(state.abort_all() for state in states)
+        if drain_aborted:
+            self.registry.inc("rpc_drain_aborted_total", drain_aborted)
         for state in states:
             conn = getattr(state, "conn", None)
             if conn is not None:
@@ -283,9 +294,18 @@ class NDBServer:
                         message = conn.recv()
                     except RPCError:
                         break  # peer went away (or sent garbage)
-                    response = self._dispatch(state, message)
+                    try:
+                        response = self._dispatch(state, message)
+                    except DropConnection:
+                        # injected crash: close the socket without a
+                        # response, exactly like the process dying here
+                        self.registry.inc("rpc_injected_conn_drops_total")
+                        break
                     try:
                         conn.send(response)
+                        if fault_point("rpc.server.duplicate_response",
+                                       method=message.get("method", "")):
+                            conn.send(response)  # veto = send it twice
                     except RPCError:
                         break
         finally:
@@ -307,8 +327,14 @@ class NDBServer:
         try:
             if handler is None:
                 raise protocol.ProtocolError(f"unknown method {method!r}")
+            fault_point("rpc.server.request", method=method)
             result = handler(state, params)
             return protocol.ok(req_id, result)
+        except DropConnection as exc:
+            # injected transport kill: must never be serialized — the
+            # conn loop closes the socket instead of answering
+            error = exc
+            raise
         except Exception as exc:  # noqa: BLE001 - every error goes on the wire
             error = exc
             self.registry.inc("rpc_errors_total", method=method,
@@ -482,8 +508,17 @@ class NDBServer:
 
     def _h_tx_commit(self, state: _ConnState,
                      params: Mapping[str, Any]) -> dict[str, Any]:
+        # "crash before the commit applied": fires while the tx is still
+        # registered in state.txs, so the conn teardown's abort_all
+        # releases its row locks (the client's CommitAmbiguousError
+        # resolves to: aborted)
+        fault_point("rpc.server.commit.before", tx=params.get("tx"))
         tx, cursor = self._pop_tx(state, params)
         tx.commit()
+        # "crash after the commit applied": the client sees the same
+        # connection loss, but the commit is durable (resolves to:
+        # committed) — the two sides of the ambiguity, by construction
+        fault_point("rpc.server.commit.after", tx=params.get("tx"))
         return {"stats": cursor.delta(tx.stats)}
 
     def _h_tx_abort(self, state: _ConnState,
@@ -507,6 +542,49 @@ class NDBServer:
         if not self.flight.ops():
             return None
         return self.flight.dump(reason=params.get("reason", "rpc_request"))
+
+    # -- handlers: fault injection -----------------------------------------------
+
+    def _fault_callbacks(self) -> dict[str, Any]:
+        """Callbacks ``action="call"`` specs may name on this server."""
+        cluster = getattr(self.driver, "cluster", None)
+        callbacks: dict[str, Any] = {}
+        if cluster is not None:
+            callbacks["kill_node"] = \
+                lambda node: cluster.kill_node(int(node))
+            callbacks["restart_node"] = \
+                lambda node: cluster.restart_node(int(node))
+        return callbacks
+
+    def install_fault_plan(self, plan: FaultPlan) -> FaultInjector:
+        """Install a plan process-wide, wired to this server's metrics,
+        flight recorder and cluster callbacks."""
+        injector = FaultInjector(plan, registry=self.registry,
+                                 recorder=self.flight,
+                                 callbacks=self._fault_callbacks())
+        return faults.install(injector)
+
+    def _h_faults_install(self, state: _ConnState,
+                          params: Mapping[str, Any]) -> dict[str, Any]:
+        plan = FaultPlan.from_dict(params["plan"])
+        self.install_fault_plan(plan)
+        return {"installed": True, "seed": plan.seed,
+                "specs": len(plan.specs)}
+
+    def _h_faults_clear(self, state: _ConnState,
+                        params: Mapping[str, Any]) -> dict[str, Any]:
+        injector = faults.uninstall()
+        return {"cleared": injector is not None,
+                "fired": len(injector.fired) if injector is not None else 0}
+
+    def _h_faults_fired(self, state: _ConnState,
+                        params: Mapping[str, Any]) -> dict[str, Any]:
+        injector = faults.active()
+        if injector is None:
+            return {"installed": False, "fired": [], "counts": {}}
+        return {"installed": True,
+                "fired": [f.to_dict() for f in injector.fired],
+                "counts": injector.counts()}
 
     # -- handlers: admin / failure injection -------------------------------------
 
@@ -586,6 +664,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--log-flush-delay", type=float, default=0.0)
     parser.add_argument("--serial-commit", action="store_true")
     parser.add_argument("--drain-timeout", type=float, default=5.0)
+    parser.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="install the JSON fault plan at PATH at startup "
+                             "(chaos runs against supervised workers)")
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write a mergeable metrics snapshot here on exit")
     parser.add_argument("--flight-dir", default=None, metavar="DIR",
@@ -611,6 +692,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                        name=args.name, drain_timeout=args.drain_timeout,
                        metrics_path=args.metrics_json,
                        flight_dir=args.flight_dir)
+    if args.fault_plan:
+        with open(args.fault_plan, encoding="utf-8") as fh:
+            server.install_fault_plan(FaultPlan.from_dict(json.load(fh)))
     server.start()
 
     def _on_signal(_signum: int, _frame: Any) -> None:

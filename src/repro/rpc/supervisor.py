@@ -24,7 +24,9 @@ from collections import deque
 from typing import Any, Optional
 
 import repro
+from repro.errors import CrashLoopError
 from repro.rpc.server import READY_PREFIX
+from repro.util.retry import RetryPolicy
 
 
 def _src_root() -> str:
@@ -63,7 +65,11 @@ class ServerHandle:
 
     def __init__(self, name: str, options: dict[str, Any],
                  ready_timeout: float = 15.0,
-                 output_keep: int = 200) -> None:
+                 output_keep: int = 200,
+                 respawn_backoff: float = 0.1,
+                 respawn_backoff_max: float = 5.0,
+                 crash_loop_window: float = 5.0,
+                 crash_loop_limit: int = 5) -> None:
         self.name = name
         self.options = dict(options)
         self.ready_timeout = ready_timeout
@@ -72,6 +78,20 @@ class ServerHandle:
         self.unix_path: Optional[str] = None
         self.pid = 0
         self.restarts = 0
+        #: a respawned server dying again within this many seconds of
+        #: its spawn counts as a *rapid* death (crash-loop evidence)
+        self.crash_loop_window = crash_loop_window
+        #: rapid deaths tolerated before :class:`CrashLoopError`
+        self.crash_loop_limit = crash_loop_limit
+        #: the shared jittered policy paces respawns: the first respawn
+        #: after a healthy run is immediate, repeated rapid deaths back
+        #: off exponentially instead of hot-spinning the fork loop
+        self.respawn_policy = RetryPolicy(
+            max_attempts=max(1, crash_loop_limit),
+            base_delay=respawn_backoff, max_delay=respawn_backoff_max,
+            jitter=True)
+        self._rapid_respawns = 0  # guarded_by: GIL
+        self._spawned_at = 0.0    # guarded_by: GIL
         self._output: deque[str] = deque(maxlen=output_keep)  # guarded_by: GIL
         self._ready = threading.Event()
         self._process: Optional[subprocess.Popen] = None
@@ -93,6 +113,7 @@ class ServerHandle:
             target=self._drain_output, args=(self._process,),
             name=f"supervise-{self.name}", daemon=True)
         self._drainer.start()
+        self._spawned_at = time.monotonic()
         if not self._ready.wait(timeout=self.ready_timeout):
             self.kill()
             tail = "\n".join(self.output_tail())
@@ -126,12 +147,37 @@ class ServerHandle:
         return list(self._output)[-n:]
 
     def ensure_alive(self) -> bool:
-        """Respawn the process if it died. Returns True if a respawn ran."""
+        """Respawn the process if it died. Returns True if a respawn ran.
+
+        The first respawn after a healthy run is immediate; a server
+        that keeps dying within :attr:`crash_loop_window` seconds of its
+        spawn is respawned with exponential jittered backoff, and after
+        :attr:`crash_loop_limit` rapid deaths the supervisor raises
+        :class:`~repro.errors.CrashLoopError` instead of spinning.
+        """
         if self.alive:
             return False
+        uptime = time.monotonic() - self._spawned_at
+        if uptime >= self.crash_loop_window:
+            self._rapid_respawns = 0  # it ran healthy for a while; re-arm
+        if self._rapid_respawns >= self.crash_loop_limit:
+            tail = "\n".join(self.output_tail(5))
+            raise CrashLoopError(
+                f"server {self.name!r} died {self._rapid_respawns} times "
+                f"within {self.crash_loop_window:.1f}s of spawning "
+                f"(exit={self.returncode})\n{tail}")
+        delay = self.respawn_policy.backoff(self._rapid_respawns)
+        if delay > 0:
+            time.sleep(delay)
+        self._rapid_respawns += 1
         self.restarts += 1
         self._spawn()
         return True
+
+    def reset_crash_loop(self) -> None:
+        """Re-arm a handle that tripped the crash-loop cap (operator
+        intervention after fixing the underlying cause)."""
+        self._rapid_respawns = 0
 
     def stop(self, timeout: float = 10.0) -> Optional[int]:
         """Graceful stop: SIGTERM, wait, escalate to SIGKILL. Returns the
