@@ -372,6 +372,57 @@ def export_artifacts(chrome_path: str | None,
     return written
 
 
+def export_distributed_artifacts(chrome_path: str | None,
+                                 metrics_path: str | None) -> list[str]:
+    """Run a short fully-traced workload against a live :class:`ServerPool`
+    and write the cross-process observability artifacts: a Chrome/Perfetto
+    timeline where every ndb-server renders as its own process lane (the
+    client's traces carry the grafted, clock-aligned server span trees),
+    and a windowed metrics snapshot fetched from a server's live
+    ``--metrics-port`` HTTP endpoint."""
+    from urllib.request import urlopen
+
+    from repro.dal import RemoteDriver
+    from repro.metrics import Tracer
+    from repro.metrics.traceexport import write_chrome
+    from repro.rpc import ServerPool
+
+    written: list[str] = []
+    tracer = Tracer(sample_every=1)
+    with ServerPool(2, datanodes=4, replication=2,
+                    metrics_port=0) as pool:
+        drivers = [RemoteDriver(host, port)
+                   for host, port in pool.addresses]
+        try:
+            for driver in drivers:
+                driver.create_table(KV)
+            for i in range(8):
+                session = drivers[i % len(drivers)].session()
+                with tracer.trace("bench_remote_op"):
+                    def fn(tx, i=i):
+                        tx.insert("kv", {"k": i, "v": i})
+                        tx.read("kv", (i,))
+                    session.run(fn)
+            if chrome_path:
+                write_chrome(tracer.recent(), chrome_path,
+                             meta={"source":
+                                   "bench_engine_parallelism "
+                                   "--deploy process"})
+                written.append(chrome_path)
+            if metrics_path:
+                host, port = pool.metrics_addresses[0]
+                url = f"http://{host}:{port}/metrics.json?window=60"
+                with urlopen(url, timeout=10.0) as resp:
+                    payload = resp.read()
+                with open(metrics_path, "wb") as fh:
+                    fh.write(payload)
+                written.append(metrics_path)
+        finally:
+            for driver in drivers:
+                driver.close()
+    return written
+
+
 def print_report(report: dict) -> None:
     print(f"{'threads':>8} | {'sequential ops/s':>17} | "
           f"{'parallel ops/s':>15} | {'speedup':>8}")
@@ -404,6 +455,16 @@ def main() -> int:
     parser.add_argument("--flight-dump", metavar="PATH", default=None,
                         help="write a flight-recorder dump (including one "
                              "injected failure) to PATH")
+    parser.add_argument("--distributed-chrome-trace", metavar="PATH",
+                        default=None,
+                        help="export a merged cross-process Chrome/"
+                             "Perfetto timeline of a fully-traced "
+                             "workload over a live ServerPool to PATH")
+    parser.add_argument("--metrics-port-json", metavar="PATH",
+                        default=None,
+                        help="fetch /metrics.json (windowed view) from a "
+                             "live server's --metrics-port endpoint and "
+                             "write it to PATH")
     args = parser.parse_args()
 
     if args.deploy == "process":
@@ -416,6 +477,10 @@ def main() -> int:
         print_report(report)
     if args.chrome_trace or args.flight_dump:
         for path in export_artifacts(args.chrome_trace, args.flight_dump):
+            print(f"wrote {path}")
+    if args.distributed_chrome_trace or args.metrics_port_json:
+        for path in export_distributed_artifacts(
+                args.distributed_chrome_trace, args.metrics_port_json):
             print(f"wrote {path}")
     if args.json:
         with open(args.json, "w") as fh:

@@ -19,13 +19,20 @@ The benchmark kind is inferred from the baseline's shape:
 * ``overhead_pct_full_tracing`` — the tracing-overhead measurement
   (``bench_functional_micro.py``): overheads are lower-is-better and
   gate against the committed value plus ``--tracing-margin`` percentage
-  points (the measurement itself is noisy, the margin absorbs that).
+  points (the measurement itself is noisy, the margin absorbs that);
+* ``wire_overhead_pct_full_tracing`` — the same A/B/A measurement under
+  ``--deploy process``, where tracing additionally ships a trace
+  envelope and span tree over every RPC. The production config
+  (1-in-64 sampling) gates at ``--tracing-margin``; the
+  full-sampling cell ships a span tree per request and is far noisier,
+  so it gets three times the margin.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_gate.py \
         BENCH_engine_parallelism.json BENCH_process_deploy.json \
-        BENCH_hotpath.json BENCH_tracing_overhead.json
+        BENCH_hotpath.json BENCH_tracing_overhead.json \
+        BENCH_distributed_tracing.json
 
 Both workloads are sleep-dominated by design (simulated network and log
 delays), so cell values are largely machine-independent and a committed
@@ -46,6 +53,8 @@ import bench_engine_parallelism as bench
 GATE_OPS = {"engine": 400, "deploy": 240, "hotpath": 1600}
 #: lighter-than-committed tracing measurement (the gate has a margin)
 TRACING_GATE = dict(repeat=150, rounds=40)
+#: the process cell pays a real TCP round trip per op, so fewer rounds
+DIST_TRACING_GATE = dict(repeat=150, rounds=30)
 
 
 def baseline_kind(data: dict) -> str:
@@ -57,10 +66,12 @@ def baseline_kind(data: dict) -> str:
         return "hotpath"
     if "overhead_pct_full_tracing" in data:
         return "tracing"
+    if "wire_overhead_pct_full_tracing" in data:
+        return "disttracing"
     raise SystemExit("unrecognized baseline shape: expected a "
                      "BENCH_engine_parallelism, BENCH_process_deploy, "
-                     "BENCH_hotpath or BENCH_tracing_overhead style "
-                     "report")
+                     "BENCH_hotpath, BENCH_tracing_overhead or "
+                     "BENCH_distributed_tracing style report")
 
 
 def run_current(kind: str, ops: int | None) -> dict:
@@ -77,6 +88,9 @@ def run_current(kind: str, ops: int | None) -> dict:
     sys.path.insert(0, os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
     import bench_functional_micro
+    if kind == "disttracing":
+        return bench_functional_micro.measure_distributed_tracing(
+            **DIST_TRACING_GATE)
     return bench_functional_micro.measure_tracing_overhead(**TRACING_GATE)
 
 
@@ -129,11 +143,12 @@ def compare_round_trips(name: str, baseline: dict,
 
 
 def compare_tracing(name: str, baseline: dict, current: dict,
-                    margin_pts: float) -> tuple[list[dict], list[str]]:
-    """Gate tracing overheads (lower is better, margin in pct points)."""
+                    margins: dict[str, float]) -> tuple[list[dict],
+                                                        list[str]]:
+    """Gate tracing overheads (lower is better, margins in pct points)."""
     rows: list[dict] = []
     failures: list[str] = []
-    for key in ("overhead_pct_full_tracing", "overhead_pct_sampled_64"):
+    for key, margin_pts in sorted(margins.items()):
         base_pct = baseline[key]
         cur_pct = current[key]
         ceiling = base_pct + margin_pts
@@ -208,10 +223,23 @@ def main(argv: list[str] | None = None) -> int:
             continue
         kind = baseline_kind(baseline)
         print(f"== {path} ({kind} benchmark) ==")
-        if kind == "tracing":
+        if kind in ("tracing", "disttracing"):
             current = run_current(kind, args.ops)
+            if kind == "tracing":
+                margins = {"overhead_pct_full_tracing": args.tracing_margin,
+                           "overhead_pct_sampled_64": args.tracing_margin}
+            else:
+                # the full-sampling wire cell serializes a span tree per
+                # RPC and swings a lot between runs; the production
+                # config (1-in-64) is the one the acceptance criterion
+                # actually cares about, so it keeps the tight margin
+                margins = {
+                    "wire_overhead_pct_full_tracing":
+                        3.0 * args.tracing_margin,
+                    "wire_overhead_pct_sampled_64": args.tracing_margin,
+                }
             rows, failures = compare_tracing(path, baseline, current,
-                                             args.tracing_margin)
+                                             margins)
             print_tracing_rows(rows)
             print()
             all_rows.extend(rows)

@@ -7,6 +7,8 @@ Subcommands:
   bound port, shuts down gracefully on SIGTERM/SIGINT;
 * ``merge-metrics`` — merge per-process metrics snapshot files (as
   written by ``serve --metrics-json``) into one cluster-wide snapshot;
+* ``top`` — live windowed metrics console over a pool of servers
+  (:mod:`repro.metrics.top`);
 * anything else — the interactive HopsFS shell (:mod:`repro.cli`).
 """
 
@@ -51,6 +53,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "merge-metrics":
         return _merge_metrics(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.metrics.top import main as top_main
+
+        return top_main(argv[1:])
     from repro.cli import main as cli_main
 
     return cli_main(argv)

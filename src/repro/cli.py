@@ -311,7 +311,12 @@ class HopsShell:
                     lines.append(f"-- namenode {nn.nn_id} --")
                     lines.append(trace.render())
             return "\n".join(lines) if lines else "(no slow operations)"
-        raise CommandError("metrics [summary|json|prom|slow]")
+        if mode == "window":
+            seconds = float(args[1]) if len(args) > 1 else 60.0
+            view = export.windows(self.cluster.metrics_registry(), seconds)
+            return json.dumps(view, indent=2, sort_keys=True)
+        raise CommandError("metrics [summary|json|prom|slow|"
+                           "window [seconds]]")
 
     # -- tracing ------------------------------------------------------------------
 

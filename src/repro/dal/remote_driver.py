@@ -55,7 +55,14 @@ from repro.errors import (
 )
 from repro.faults import fault_point
 from repro.faults.plan import FaultPlan
-from repro.metrics.tracing import current_registry, span
+from repro.metrics.registry import handle_cache
+from repro.metrics.tracing import (
+    _ACTIVE,
+    add_event,
+    current_registry,
+    graft_remote_call,
+    span,
+)
 from repro.ndb.locks import LockMode
 from repro.ndb.schema import TableSchema
 from repro.ndb.session import run_in_session
@@ -68,6 +75,51 @@ from repro.util.retry import Deadline, RetryPolicy
 T = TypeVar("T")
 
 _CONN_ERRORS = (ConnectionClosedError, RequestTimeoutError)
+
+#: the four client-observed phases every traced RPC decomposes into
+RPC_PHASES = ("send", "wire", "server_queue", "engine")
+
+
+def _phase_hists(registry, method: str) -> dict:
+    """Cached ``rpc_request_seconds{phase,method}`` histogram handles."""
+    cache = handle_cache(registry)
+    key = ("rpc_phase", method)
+    hists = cache.get(key)
+    if hists is None:
+        hists = cache[key] = {
+            phase: registry.histogram("rpc_request_seconds",
+                                      phase=phase, method=method)
+            for phase in RPC_PHASES}
+    return hists
+
+
+def _traced_call(conn: ClientConn, method: str,
+                 params: Optional[dict[str, Any]] = None) -> Any:
+    """One RPC with wire-level trace propagation.
+
+    Untraced callers (no trace bound to this thread — sampling off or
+    sampled out) pay nothing beyond a thread-local read: the request
+    carries no trace envelope and the server does no span work. Traced
+    callers get an ``rpc.<method>`` span whose children decompose the
+    round trip into send / wire / server-queue / engine (the server's
+    clock-aligned span tree grafted in the middle), and the phase
+    durations land in ``rpc_request_seconds{phase,method}`` histograms
+    on the bound registry.
+    """
+    trace, stack, registry, _link = _ACTIVE.bind
+    if stack is None:
+        return conn.call(method, params)
+    with span("rpc." + method) as rpc_span:
+        result, payload, t_send, t_sent, t_recv = conn.call_traced(
+            method, params, trace={"id": trace.trace_id})
+        if payload is not None:
+            phases = graft_remote_call(rpc_span, payload,
+                                       t_send, t_sent, t_recv)
+            if registry is not None:
+                hists = _phase_hists(registry, method)
+                for phase, seconds in phases.items():
+                    hists[phase].observe(seconds)
+    return result
 
 
 class RemoteTransaction:
@@ -114,7 +166,7 @@ class RemoteTransaction:
         self._check_active()
         params["tx"] = self._handle
         try:
-            result = self._conn.call(method, params)
+            result = _traced_call(self._conn, method, params)
         except _CONN_ERRORS as exc:
             self.state = TxState.ABORTED
             self._release(reusable=False)
@@ -134,6 +186,10 @@ class RemoteTransaction:
         params["tx"] = self._handle
         try:
             self._conn.send_nowait(method, params)
+            # pipelined requests carry no trace envelope (the server does
+            # no per-request span work for them); a traced client still
+            # sees *that* the write was fired, as a zero-length event
+            add_event("rpc." + method, pipelined=True)
         except _CONN_ERRORS as exc:
             self.state = TxState.ABORTED
             self._release(reusable=False)
@@ -252,7 +308,8 @@ class RemoteTransaction:
                 ) from exc
         with span("commit"):
             try:
-                result = self._conn.call("tx.commit", {"tx": self._handle})
+                result = _traced_call(self._conn, "tx.commit",
+                                      {"tx": self._handle})
                 # the commit round records its own access events
                 # (write-batch flush + commit) server-side
                 self._fold_pipelined(result)
@@ -493,10 +550,10 @@ class RemoteDriver(DALDriver):
                     method: str, params: Mapping[str, Any]) -> Any:
         """One request with its socket timeout clamped to the deadline."""
         if deadline.unbounded:
-            return conn.call(method, params)
+            return _traced_call(conn, method, dict(params))
         conn.settimeout(deadline.clamp(self.timeout))
         try:
-            return conn.call(method, params)
+            return _traced_call(conn, method, dict(params))
         finally:
             if not conn.closed:
                 conn.settimeout(self.timeout)
@@ -508,8 +565,8 @@ class RemoteDriver(DALDriver):
         for _attempt in range(max(1, self.max_reconnect_attempts)):
             conn = self._checkout()
             try:
-                result = conn.call("begin",
-                                   {"hint": protocol.encode_hint(hint)})
+                result = _traced_call(conn, "begin",
+                                      {"hint": protocol.encode_hint(hint)})
             except _CONN_ERRORS as exc:
                 last_exc = exc  # nothing started server-side that survives
                 continue
@@ -597,10 +654,15 @@ class RemoteDriver(DALDriver):
         """The server-side firing log (replay-determinism evidence)."""
         return self._call("faults.fired", idempotent=True)
 
-    def metrics_snapshot(self, include_samples: bool = True) -> dict:
-        return self._call("metrics",
-                          {"include_samples": include_samples},
-                          idempotent=True)
+    def metrics_snapshot(self, include_samples: bool = True,
+                         window: Optional[float] = None) -> dict:
+        """Server metrics snapshot; ``window`` seconds adds a
+        ``windows`` section (windowed rates and percentiles) — the feed
+        ``python -m repro top`` polls."""
+        params: dict[str, Any] = {"include_samples": include_samples}
+        if window is not None:
+            params["window"] = window
+        return self._call("metrics", params, idempotent=True)
 
     def flight_dump(self, reason: str = "rpc_request") -> Optional[str]:
         return self._call("flight_dump", {"reason": reason}, idempotent=True)

@@ -20,6 +20,7 @@ from repro.metrics.export import (
     snapshot,
     summary,
     to_json,
+    windows,
 )
 from repro.metrics.flightrecorder import FlightRecorder
 from repro.metrics.registry import (
@@ -28,6 +29,7 @@ from repro.metrics.registry import (
     HistogramMetric,
     MetricsRegistry,
 )
+from repro.metrics.slo import SLO
 from repro.metrics.traceexport import to_chrome, write_chrome
 from repro.metrics.tracing import (
     Span,
@@ -36,11 +38,14 @@ from repro.metrics.tracing import (
     Tracer,
     add_event,
     current_trace,
+    graft_remote_call,
     link_scope,
     span,
+    span_from_dict,
 )
 
 __all__ = [
+    "SLO",
     "CounterMetric",
     "FlightRecorder",
     "GaugeMetric",
@@ -53,12 +58,15 @@ __all__ = [
     "add_event",
     "current_trace",
     "from_json",
+    "graft_remote_call",
     "link_scope",
     "prometheus_text",
     "snapshot",
     "span",
+    "span_from_dict",
     "summary",
     "to_chrome",
     "to_json",
+    "windows",
     "write_chrome",
 ]

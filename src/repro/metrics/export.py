@@ -39,11 +39,21 @@ def snapshot(registry: MetricsRegistry, meta: Optional[dict] = None,
     of a merged snapshot are recomputed from the pooled samples instead
     of being averaged (see :func:`merge_snapshots`). Server processes
     emit sample-carrying snapshots on exit for exactly this reason.
+    Sample-carrying snapshots also ship the sliding-window state —
+    counters' per-second ``buckets`` and histograms' timestamped
+    ``recent`` observations — so windowed views (:func:`windows`,
+    ``repro top``) survive the snapshot → registry round trip and merge
+    across processes (the buckets are wall-clock stamped).
     """
-    counters = [
-        {"name": c.name, "labels": dict(c.labels), "value": c.value}
-        for c in registry.counters()
-    ]
+    counters = []
+    for c in registry.counters():
+        entry = {"name": c.name, "labels": dict(c.labels),
+                 "value": c.value}
+        if include_samples:
+            buckets = c.window_buckets()
+            if buckets:
+                entry["buckets"] = buckets
+        counters.append(entry)
     gauges = [
         {"name": g.name, "labels": dict(g.labels), "value": g.value}
         for g in registry.gauges()
@@ -63,6 +73,12 @@ def snapshot(registry: MetricsRegistry, meta: Optional[dict] = None,
         }
         if include_samples:
             entry["samples"] = h.sample_values()
+            recent = h.recent_samples()
+            if recent:
+                entry["recent"] = [[t, v] for t, v in recent]
+            buckets = h.window_buckets()
+            if buckets:
+                entry["buckets"] = buckets
         histograms.append(entry)
     key = lambda m: (m["name"], sorted(m["labels"].items()))  # noqa: E731
     result = {
@@ -106,17 +122,25 @@ def registry_from_snapshot(data: dict) -> MetricsRegistry:
     Counters and gauges round-trip exactly. Histograms rebuild from the
     snapshot's reservoir ``samples`` when present (sample-carrying
     snapshots, the mergeable kind); count/sum/max stay exact either way,
-    but a sample-less snapshot yields empty percentiles.
+    but a sample-less snapshot yields empty percentiles. Window state
+    (``buckets``/``recent``) restores through the window-safe merge
+    paths, so rebuilding never replays old traffic as new.
     """
     registry = MetricsRegistry()
     for c in data.get("counters", ()):
-        registry.counter(c["name"], **c["labels"]).inc(c["value"])
+        metric = registry.counter(c["name"], **c["labels"])
+        metric.add_total(c["value"])
+        if c.get("buckets"):
+            metric.merge_window_parts(c["buckets"])
     for g in data.get("gauges", ()):
         registry.gauge(g["name"], **g["labels"]).set(g["value"])
     for h in data.get("histograms", ()):
         metric = registry.histogram(h["name"], **h["labels"])
         metric.merge_parts(h["count"], h["sum"], h["max"],
                            list(h.get("samples", ())))
+        if h.get("recent") or h.get("buckets"):
+            metric.merge_window_parts(list(h.get("recent", ())),
+                                      dict(h.get("buckets", {})))
     return registry
 
 
@@ -145,6 +169,38 @@ def merge_snapshots(snapshots: list[dict],
     if sources:
         out_meta["sources"] = sources
     return snapshot(merged, meta=out_meta, include_samples=include_samples)
+
+
+def windows(registry: MetricsRegistry, seconds: float = 60.0,
+            now: Optional[float] = None) -> dict:
+    """Windowed view of every metric with recent traffic.
+
+    Returns ``{"window_seconds": N, "counters": [...], "histograms":
+    [...]}`` where each entry carries the metric identity plus its
+    :meth:`~repro.metrics.registry.HistogramMetric.window` dict (rate
+    and p50/p99 for histograms, count and rate for counters). Metrics
+    with zero traffic inside the window are omitted — this is the live
+    feed, not the inventory. The ``/metrics.json?window=N`` endpoint
+    and ``repro top`` are both thin wrappers over this.
+    """
+    counters = []
+    for c in registry.counters():
+        view = c.window(seconds, now=now)
+        if view["count"]:
+            counters.append({"name": c.name, "labels": dict(c.labels),
+                             **view})
+    histograms = []
+    for h in registry.histograms():
+        view = h.window(seconds, now=now)
+        if view["count"]:
+            histograms.append({"name": h.name, "labels": dict(h.labels),
+                               **view})
+    key = lambda m: (m["name"], sorted(m["labels"].items()))  # noqa: E731
+    return {
+        "window_seconds": seconds,
+        "counters": sorted(counters, key=key),
+        "histograms": sorted(histograms, key=key),
+    }
 
 
 # -- Prometheus text exposition ------------------------------------------------

@@ -27,12 +27,21 @@ cluster-wide view from per-namenode registries.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from typing import Iterator, Optional
 
-from repro.util.stats import LatencyReservoir
+from repro.util.stats import LatencyReservoir, percentile
 
 #: label sets are stored canonically as sorted (key, value) tuples
 LabelItems = tuple[tuple[str, str], ...]
+
+#: sliding-window history horizon (seconds) — events older than this are
+#: pruned; windows wider than the horizon silently clamp to it
+WINDOW_HORIZON = 600.0
+
+#: recent-sample memory per histogram for windowed percentiles
+RECENT_SAMPLES = 2048
 
 
 def _label_items(labels: dict[str, object]) -> LabelItems:
@@ -53,15 +62,56 @@ def handle_cache(registry: "MetricsRegistry") -> dict:
     return registry._handles
 
 
+class _WindowBuckets:
+    """Per-second event buckets for sliding-window rates.
+
+    Timestamps are *wall clock* (``time.time()``) so buckets from
+    different processes merge meaningfully — the whole point of windowed
+    snapshots is aggregating a ServerPool's view. Not internally locked;
+    the owning metric's lock guards every access (guarded_by: owner
+    metric ``_lock``).
+    """
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, float] = {}
+
+    def add(self, n: float, now: Optional[float] = None) -> None:
+        sec = int(now if now is not None else time.time())
+        buckets = self.buckets
+        buckets[sec] = buckets.get(sec, 0.0) + n
+        if len(buckets) > WINDOW_HORIZON:
+            cutoff = sec - WINDOW_HORIZON
+            for old in [s for s in buckets if s < cutoff]:
+                del buckets[old]
+
+    def merge(self, parts: dict) -> None:
+        buckets = self.buckets
+        for sec, n in parts.items():
+            sec = int(sec)  # JSON round trips turn keys into strings
+            buckets[sec] = buckets.get(sec, 0.0) + n
+
+    def count(self, seconds: float, now: Optional[float] = None) -> float:
+        if now is None:
+            now = time.time()
+        cutoff = now - min(seconds, WINDOW_HORIZON)
+        return sum(n for sec, n in self.buckets.items() if sec > cutoff)
+
+    def to_dict(self) -> dict[str, float]:
+        return {str(sec): n for sec, n in self.buckets.items()}
+
+
 class CounterMetric:
     """A monotonically increasing value."""
 
-    __slots__ = ("name", "labels", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_window", "_lock")
 
     def __init__(self, name: str, labels: LabelItems) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._window = _WindowBuckets()
         self._lock = threading.Lock()
 
     def inc(self, n: float = 1.0) -> None:
@@ -69,6 +119,43 @@ class CounterMetric:
             raise ValueError("counters only go up; use a gauge")
         with self._lock:
             self._value += n
+            self._window.add(n)
+
+    def add_total(self, n: float) -> None:
+        """Raise the total *without* recording window traffic.
+
+        Merge/restore paths use this: ``cluster.metrics_registry()``
+        re-merges per-namenode registries into a fresh one on every
+        call, and folding those totals through :meth:`inc` would make
+        old traffic look like a burst of activity *now*. Window state
+        travels separately via :meth:`merge_window_parts`.
+        """
+        with self._lock:
+            self._value += n
+
+    def merge_window(self, other: "CounterMetric") -> None:
+        with other._lock:
+            parts = dict(other._window.buckets)
+        with self._lock:
+            self._window.merge(parts)
+
+    def merge_window_parts(self, buckets: dict) -> None:
+        """Fold exported per-second buckets in (snapshot restoring)."""
+        with self._lock:
+            self._window.merge(buckets)
+
+    def window_buckets(self) -> dict[str, float]:
+        """Exported per-second buckets (mergeable snapshot payload)."""
+        with self._lock:
+            return self._window.to_dict()
+
+    def window(self, seconds: float,
+               now: Optional[float] = None) -> dict[str, float]:
+        """Events and rate over the trailing ``seconds`` of wall clock."""
+        with self._lock:
+            count = self._window.count(seconds, now=now)
+        span = max(min(seconds, WINDOW_HORIZON), 1e-9)
+        return {"count": count, "rate": count / span}
 
     @property
     def value(self) -> float:
@@ -102,28 +189,49 @@ class GaugeMetric:
 
 
 class HistogramMetric:
-    """A latency/size distribution (reservoir-sampled percentiles)."""
+    """A latency/size distribution (reservoir-sampled percentiles).
 
-    __slots__ = ("name", "labels", "_reservoir", "_lock")
+    Besides the lifetime reservoir, every histogram remembers its most
+    recent timestamped observations (bounded deque) plus exact
+    per-second counts, so :meth:`window` can answer "p99 over the last
+    30 seconds" — the live view ``repro top`` and the SLO burn-rate
+    math consume. When more than :data:`RECENT_SAMPLES` observations
+    land inside the window, percentiles are computed over the newest
+    ones (a sample), while ``count``/``rate`` stay exact from the
+    buckets.
+    """
+
+    __slots__ = ("name", "labels", "_reservoir", "_recent", "_window",
+                 "_lock")
 
     def __init__(self, name: str, labels: LabelItems,
                  capacity: int = 4096) -> None:
         self.name = name
         self.labels = labels
         self._reservoir = LatencyReservoir(capacity=capacity)
+        self._recent: deque[tuple[float, float]] = deque(
+            maxlen=RECENT_SAMPLES)
+        self._window = _WindowBuckets()
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        now = time.time()
         with self._lock:
             self._reservoir.record(value)
+            self._recent.append((now, value))
+            self._window.add(1.0, now=now)
 
     def merge(self, other: "HistogramMetric") -> None:
         with other._lock:
             snapshot = other._reservoir
             count, total, mx = snapshot.count, snapshot.total, snapshot.max
             samples = list(snapshot._samples)
+            recent = list(other._recent)
+            buckets = dict(other._window.buckets)
         with self._lock:
             self._reservoir.merge_parts(count, total, mx, samples)
+            self._merge_recent(recent)
+            self._window.merge(buckets)
 
     def merge_parts(self, count: int, total: float, max_value: float,
                     samples: list[float]) -> None:
@@ -131,10 +239,59 @@ class HistogramMetric:
         with self._lock:
             self._reservoir.merge_parts(count, total, max_value, samples)
 
+    def merge_window_parts(self, recent: list, buckets: dict) -> None:
+        """Fold exported window state in (snapshot restoring)."""
+        with self._lock:
+            self._merge_recent([(float(t), float(v)) for t, v in recent])
+            self._window.merge(buckets)
+
+    def _merge_recent(self, recent: list[tuple[float, float]]) -> None:
+        # keep the newest observations across both sides; the deque cap
+        # bounds memory, so merge order must not silently drop the
+        # *newer* side's samples  (guarded_by: _lock)
+        if not recent:
+            return
+        merged = sorted(list(self._recent) + recent)
+        self._recent.clear()
+        self._recent.extend(merged[-RECENT_SAMPLES:])
+
     def sample_values(self) -> list[float]:
         """The raw reservoir samples (exported for mergeable snapshots)."""
         with self._lock:
             return list(self._reservoir._samples)
+
+    def recent_samples(self) -> list[tuple[float, float]]:
+        """Timestamped recent observations (mergeable snapshot payload)."""
+        with self._lock:
+            return list(self._recent)
+
+    def window_buckets(self) -> dict[str, float]:
+        """Exported per-second counts (mergeable snapshot payload)."""
+        with self._lock:
+            return self._window.to_dict()
+
+    def window(self, seconds: float,
+               now: Optional[float] = None) -> dict[str, float]:
+        """Windowed view: exact count/rate, sampled percentiles.
+
+        Returns ``{"count", "rate", "p50", "p99", "mean", "max"}`` over
+        the trailing ``seconds`` (clamped to :data:`WINDOW_HORIZON`).
+        """
+        if now is None:
+            now = time.time()
+        cutoff = now - min(seconds, WINDOW_HORIZON)
+        with self._lock:
+            count = self._window.count(seconds, now=now)
+            values = sorted(v for t, v in self._recent if t > cutoff)
+        span = max(min(seconds, WINDOW_HORIZON), 1e-9)
+        out = {"count": count, "rate": count / span,
+               "p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+        if values:
+            out["p50"] = percentile(values, 50.0)
+            out["p99"] = percentile(values, 99.0)
+            out["mean"] = sum(values) / len(values)
+            out["max"] = values[-1]
+        return out
 
     @property
     def count(self) -> int:
@@ -268,11 +425,15 @@ class MetricsRegistry:
 
         Counters and gauges add; gauges that are *rates* rather than
         levels (e.g. ``hint_cache_hit_rate``) should be recomputed by the
-        aggregator from their underlying totals after merging.
+        aggregator from their underlying totals after merging. Counter
+        totals fold via :meth:`CounterMetric.add_total` (not ``inc``) so
+        a re-merge never replays old traffic into the sliding windows;
+        window buckets carry over with their original timestamps.
         """
         for counter in other.counters():
-            self.counter(counter.name,
-                         **dict(counter.labels)).inc(counter.value)
+            mine = self.counter(counter.name, **dict(counter.labels))
+            mine.add_total(counter.value)
+            mine.merge_window(counter)
         for gauge in other.gauges():
             self.gauge(gauge.name, **dict(gauge.labels)).inc(gauge.value)
         for histogram in other.histograms():

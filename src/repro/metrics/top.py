@@ -1,0 +1,234 @@
+"""``python -m repro top`` — a live, windowed view of a running cluster.
+
+The telemetry plane's console: poll one or more metric sources every
+interval, merge their snapshots into a single cluster-wide registry, and
+render windowed rates and percentiles (plus optional SLO burn rates)
+like ``top`` does for processes. Three source kinds, freely mixable:
+
+* ``host:port`` — an ndb-server's RPC port; polled with a throwaway
+  :class:`~repro.dal.remote_driver.RemoteDriver` ``metrics`` call
+  (sample-carrying snapshot, so windows merge correctly);
+* ``http://host:port`` — a server's ``--metrics-port`` HTTP endpoint
+  (``/metrics.json``), for when the RPC port is busy serving traffic;
+* ``--snapshot file.json`` — a snapshot file, e.g. the client-side
+  registry a benchmark wrote (``fs_op_seconds`` lives in the *namenode*
+  process, not on the ndb servers, so watching operation latency means
+  pointing ``top`` at the namenode's exported snapshot).
+
+The rendering is a pure function of the polled snapshots
+(:func:`render_top`), so tests drive it without a terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from typing import Optional
+
+from repro.metrics import export
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.slo import SLO
+
+#: ANSI: clear screen + home (the live loop repaints in place)
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+# -- sources -------------------------------------------------------------------
+
+
+def _fetch_rpc(host: str, port: int, timeout: float) -> dict:
+    from repro.dal.remote_driver import RemoteDriver
+
+    with RemoteDriver(host, port, timeout=timeout,
+                      connect_timeout=timeout,
+                      max_reconnect_attempts=1,
+                      client_name="repro-top") as driver:
+        return driver.metrics_snapshot(include_samples=True)
+
+
+def _fetch_http(url: str, timeout: float) -> dict:
+    if not url.rstrip("/").endswith("/metrics.json"):
+        url = url.rstrip("/") + "/metrics.json"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def fetch_snapshots(sources: list[str], snapshot_files: list[str],
+                    timeout: float = 5.0) -> tuple[list[dict], list[str]]:
+    """Poll every source once; returns (snapshots, error strings).
+
+    A dead source contributes an error line instead of failing the whole
+    refresh — ``top`` keeps rendering whatever half of the cluster still
+    answers.
+    """
+    snapshots: list[dict] = []
+    errors: list[str] = []
+    for source in sources:
+        try:
+            if source.startswith(("http://", "https://")):
+                snapshots.append(_fetch_http(source, timeout))
+            else:
+                host, _, port = source.rpartition(":")
+                snapshots.append(_fetch_rpc(host or "127.0.0.1",
+                                            int(port), timeout))
+        except Exception as exc:  # noqa: BLE001 - keep polling the rest
+            errors.append(f"{source}: {type(exc).__name__}: {exc}")
+    for path in snapshot_files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                snapshots.append(export.from_json(fh.read()))
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"{path}: {type(exc).__name__}: {exc}")
+    return snapshots, errors
+
+
+def merged_registry(snapshots: list[dict]) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for data in snapshots:
+        registry.merge(export.registry_from_snapshot(data))
+    return registry
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.3f}"
+
+
+def render_top(snapshots: list[dict], window: float = 60.0,
+               slos: Optional[list[SLO]] = None,
+               errors: Optional[list[str]] = None,
+               now: Optional[float] = None) -> str:
+    """Render one frame from polled snapshots (pure; tested directly)."""
+    registry = merged_registry(snapshots)
+    view = export.windows(registry, window, now=now)
+    lines = [f"repro top — {len(snapshots)} source(s), "
+             f"window {window:g}s"]
+    hists = view["histograms"]
+    if hists:
+        lines.append("")
+        lines.append(f"{'histogram':<44} {'rate/s':>8} {'p50 ms':>8} "
+                     f"{'p99 ms':>8} {'max ms':>8}")
+        for h in hists:
+            label = h["name"] + ("{" + ",".join(
+                f"{k}={v}" for k, v in sorted(h["labels"].items())) + "}"
+                if h["labels"] else "")
+            lines.append(f"{label:<44} {h['rate']:>8.1f} "
+                         f"{_fmt_ms(h['p50'])} {_fmt_ms(h['p99'])} "
+                         f"{_fmt_ms(h['max'])}")
+    counters = view["counters"]
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<44} {'rate/s':>8} {'window':>8}")
+        for c in counters:
+            label = c["name"] + ("{" + ",".join(
+                f"{k}={v}" for k, v in sorted(c["labels"].items())) + "}"
+                if c["labels"] else "")
+            lines.append(f"{label:<44} {c['rate']:>8.1f} "
+                         f"{c['count']:>8.0f}")
+    gauges = [g for g in registry.gauges() if g.value]
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<44} {'value':>8}")
+        for g in sorted(gauges, key=lambda m: (m.name, m.labels)):
+            label = g.name + ("{" + ",".join(
+                f"{k}={v}" for k, v in g.labels) + "}" if g.labels else "")
+            lines.append(f"{label:<44} {g.value:>8g}")
+    if slos:
+        lines.append("")
+        lines.append(f"{'slo':<28} {'sli':>8} {'objective':>9} "
+                     f"{'burn':>6}  state")
+        for slo in slos:
+            status = slo.status(registry, now=now)
+            sli = ("   —    " if status["sli"] is None
+                   else f"{status['sli']:8.4f}")
+            state = "ok" if status["healthy"] else "BURNING"
+            lines.append(f"{slo.name:<28} {sli} "
+                         f"{slo.objective:>9.4f} "
+                         f"{status['burn_rate']:>6.1f}  {state}")
+    if not hists and not counters:
+        lines.append("")
+        lines.append(f"(no traffic in the last {window:g}s)")
+    for err in errors or ():
+        lines.append(f"! {err}")
+    return "\n".join(lines)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _parse_slo(spec: str) -> SLO:
+    """``name:objective:latency=HIST:threshold=S`` or
+    ``name:objective:total=CTR:bad=CTR``."""
+    parts = spec.split(":")
+    if len(parts) < 4:
+        raise argparse.ArgumentTypeError(
+            f"SLO spec {spec!r} needs name:objective:key=value:key=value")
+    name, objective = parts[0], float(parts[1])
+    kwargs: dict = {}
+    for part in parts[2:]:
+        key, _, value = part.partition("=")
+        if key == "threshold":
+            kwargs[key] = float(value)
+        elif key in ("total", "bad", "latency"):
+            kwargs[key] = value
+        else:
+            raise argparse.ArgumentTypeError(
+                f"unknown SLO field {key!r} in {spec!r}")
+    try:
+        return SLO(name, objective, **kwargs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live windowed metrics console for a server pool.")
+    parser.add_argument("sources", nargs="*", metavar="SOURCE",
+                        help="host:port (RPC) or http://host:port "
+                             "(--metrics-port endpoint)")
+    parser.add_argument("--snapshot", action="append", default=[],
+                        metavar="FILE.json",
+                        help="also fold in a snapshot file (repeatable)")
+    parser.add_argument("--window", type=float, default=60.0,
+                        help="trailing window in seconds (default 60)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh interval in seconds (default 2)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="render N frames then exit (0 = forever)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame, no screen clearing")
+    parser.add_argument("--slo", action="append", default=[],
+                        type=_parse_slo, metavar="SPEC",
+                        help="name:objective:latency=H:threshold=S or "
+                             "name:objective:total=C:bad=C (repeatable)")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="per-source poll timeout (default 5)")
+    args = parser.parse_args(argv)
+    if not args.sources and not args.snapshot:
+        parser.error("need at least one SOURCE or --snapshot")
+
+    iterations = 1 if args.once else args.iterations
+    frame = 0
+    try:
+        while True:
+            snapshots, errors = fetch_snapshots(
+                args.sources, args.snapshot, timeout=args.timeout)
+            text = render_top(snapshots, window=args.window,
+                              slos=args.slo, errors=errors)
+            if args.once:
+                print(text)
+            else:
+                sys.stdout.write(_CLEAR + text + "\n")
+                sys.stdout.flush()
+            frame += 1
+            if iterations and frame >= iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0

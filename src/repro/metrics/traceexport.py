@@ -14,7 +14,14 @@ and https://ui.perfetto.dev load directly:
 * spans keep their recording thread: the span's ``tid`` (OS thread
   ident) is mapped to a small per-trace lane number, and worker-thread
   spans from the shard executor or the subtree pools show up in their
-  own rows under the same operation.
+  own rows under the same operation;
+* spans a remote server shipped back over the wire — grafted under an
+  ``rpc.server`` span carrying ``pid``/``server`` labels by
+  :func:`repro.metrics.tracing.graft_remote_call` — move to their own
+  chrome process, one per *real* server process, named ``server ndb0
+  [pid 1234]``. A distributed trace thus renders the way it ran: the
+  client process on top, every ndb-server process below it, with the
+  grafted spans already clock-aligned into the client timeline.
 
 Accepts live :class:`~repro.metrics.tracing.Trace` objects or their
 ``to_dict()`` form, so flight-recorder dump files re-export unchanged.
@@ -34,9 +41,44 @@ def _as_dict(trace: TraceLike) -> dict[str, Any]:
     return trace.to_dict() if isinstance(trace, Trace) else trace
 
 
-def _span_events(span: dict[str, Any], pid: int, lanes: dict[int, int],
+class _ProcessMap:
+    """Chrome-pid allocation across one export.
+
+    Client traces claim pids 0..n-1; every distinct remote server
+    process (identified by the ``pid``/``server`` labels on an
+    ``rpc.server`` span) gets one chrome pid above those — shared by
+    every trace that touched it, so the timeline shows one row per
+    *real* process, exactly like a distributed-tracing UI.
+    """
+
+    def __init__(self, next_pid: int) -> None:
+        self._next = next_pid
+        self.remote: dict[tuple[str, str], int] = {}
+        #: os-thread-ident → small lane number, per chrome pid
+        self.lanes: dict[int, dict[int, int]] = {}
+
+    def remote_pid(self, os_pid: str, server: str) -> int:
+        key = (os_pid, server)
+        pid = self.remote.get(key)
+        if pid is None:
+            pid = self.remote[key] = self._next
+            self._next += 1
+        return pid
+
+    def lane(self, pid: int, os_tid: int) -> int:
+        lanes = self.lanes.setdefault(pid, {})
+        return lanes.setdefault(os_tid, len(lanes))
+
+
+def _span_events(span: dict[str, Any], pid: int, procs: _ProcessMap,
                  out: list[dict[str, Any]]) -> None:
-    tid = lanes.setdefault(span.get("tid", 0), len(lanes))
+    labels = span.get("labels", {})
+    if span.get("name") == "rpc.server" and "pid" in labels:
+        # the graft marker: this span and its subtree ran in a remote
+        # server process — hand them their own chrome process row
+        pid = procs.remote_pid(str(labels["pid"]),
+                               str(labels.get("server", "")))
+    tid = procs.lane(pid, span.get("tid", 0))
     start = span.get("start", 0.0)
     end = span.get("end")
     event: dict[str, Any] = {
@@ -44,7 +86,7 @@ def _span_events(span: dict[str, Any], pid: int, lanes: dict[int, int],
         "pid": pid,
         "tid": tid,
         "ts": round(start * 1e6, 3),
-        "args": dict(span.get("labels", {})),
+        "args": dict(labels),
     }
     if end is not None and end == start:
         event["ph"] = "i"
@@ -56,16 +98,17 @@ def _span_events(span: dict[str, Any], pid: int, lanes: dict[int, int],
         event["cat"] = "span"
     out.append(event)
     for child in span.get("children", ()):
-        _span_events(child, pid, lanes, out)
+        _span_events(child, pid, procs, out)
 
 
 def to_chrome(traces: Iterable[TraceLike],
               meta: Union[dict[str, Any], None] = None) -> dict[str, Any]:
     """Build the Chrome trace_event JSON object for ``traces``."""
     events: list[dict[str, Any]] = []
-    for pid, trace in enumerate(map(_as_dict, traces)):
-        lanes: dict[int, int] = {}
-        _span_events(trace["root"], pid, lanes, events)
+    trace_dicts = [_as_dict(trace) for trace in traces]
+    procs = _ProcessMap(next_pid=len(trace_dicts))
+    for pid, trace in enumerate(trace_dicts):
+        _span_events(trace["root"], pid, procs, events)
         title = trace.get("op", "?")
         trace_id = trace.get("trace_id", "?")
         if trace.get("parent_id"):
@@ -75,6 +118,12 @@ def to_chrome(traces: Iterable[TraceLike],
         events.append({"ph": "M", "name": "process_name", "pid": pid,
                        "tid": 0, "ts": 0,
                        "args": {"name": f"{title} [{trace_id}]"}})
+    for (os_pid, server), pid in sorted(procs.remote.items(),
+                                        key=lambda kv: kv[1]):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": f"server {server} [pid {os_pid}]"}})
+    for pid, lanes in sorted(procs.lanes.items()):
         for os_tid, lane in sorted(lanes.items(), key=lambda kv: kv[1]):
             events.append({"ph": "M", "name": "thread_name", "pid": pid,
                            "tid": lane, "ts": 0,

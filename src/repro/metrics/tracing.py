@@ -516,6 +516,99 @@ def add_event(name: str, **labels: object) -> None:
     children.append(event)
 
 
+def span_from_dict(data: dict, offset: float = 0.0) -> Span:
+    """Rebuild a :class:`Span` tree from its ``to_dict`` form.
+
+    ``offset`` shifts every timestamp — this is how server-process spans
+    (recorded against *that* process's ``perf_counter`` epoch) are
+    aligned into the client's clock before grafting (see
+    :func:`graft_remote_call`). ``tid`` survives the round trip so the
+    timeline exporter can lay remote worker threads out in their own
+    lanes.
+    """
+    labels = data.get("labels")
+    node = Span(data.get("name", "?"), data.get("start", 0.0) + offset,
+                dict(labels) if labels else None)
+    end = data.get("end")
+    node.end = None if end is None else end + offset
+    node.tid = data.get("tid", 0)
+    children = data.get("children")
+    if children:
+        node.children = [span_from_dict(child, offset) for child in children]
+    return node
+
+
+def _graft_leg(children: list[Span], name: str, start: float, end: float,
+               tid: int, labels: Optional[dict[str, object]] = None) -> Span:
+    leg = Span(name, start, labels)
+    leg.end = end
+    leg.tid = tid
+    children.append(leg)
+    return leg
+
+
+def graft_remote_call(rpc_span: Span, payload: dict,
+                      t_send: float, t_sent: float,
+                      t_recv: float) -> dict[str, float]:
+    """Fold one RPC's server-side trace payload under the client span.
+
+    The server reports its window in its own ``perf_counter`` epoch, so
+    the two clocks must be aligned before the spans can share one
+    timeline: the round trip's non-server residual
+    ``(t_recv - t_sent) - total_s`` is split evenly between the outbound
+    and return wire legs (RTT-midpoint offset estimation — the classic
+    NTP assumption of a symmetric path), which places the server window
+    inside the client's observed round trip.
+
+    The grafted subtree decomposes the client-observed RPC into phases::
+
+        rpc.<method>                    client span (caller-owned)
+        ├─ rpc.send                     encode + sendall
+        ├─ rpc.wire                     outbound leg
+        ├─ rpc.server {pid, server}     the server process's window
+        │  ├─ rpc.server_queue          decode/flight overhead pre-handler
+        │  └─ <method root>             real engine spans, clock-aligned
+        └─ rpc.wire                     return leg
+
+    Returns the phase durations in seconds — ``send`` / ``wire`` /
+    ``server_queue`` / ``engine`` — for the caller to feed
+    ``rpc_request_seconds{phase}`` histograms.
+    """
+    total_s = float(payload.get("total_s", 0.0))
+    engine_s = float(payload.get("engine_s", 0.0))
+    pre_s = float(payload.get("pre_s", 0.0))
+    send_s = max(0.0, t_sent - t_send)
+    wire_s = max(0.0, (t_recv - t_sent) - total_s)
+    # the midpoint estimate is capped so the whole server window fits
+    # inside the observed round trip (the server cannot have started
+    # before the send began nor finished after the response arrived)
+    server_start = max(t_send, min(t_sent + wire_s / 2.0,
+                                   t_recv - total_s))
+    server_end = server_start + total_s
+    tid = rpc_span.tid
+    children = rpc_span.children
+    if type(children) is tuple:
+        children = rpc_span.children = []
+    _graft_leg(children, "rpc.send", t_send, t_sent, tid)
+    _graft_leg(children, "rpc.wire", t_sent, server_start, tid)
+    server = _graft_leg(children, "rpc.server", server_start, server_end,
+                        tid, {"pid": payload.get("pid", "?"),
+                              "server": payload.get("server", "?")})
+    server.children = server_children = []
+    _graft_leg(server_children, "rpc.server_queue", server_start,
+               min(server_start + pre_s, server_end), tid)
+    root = payload.get("root")
+    if root is not None:
+        # align the engine subtree: its root started at handler entry,
+        # which maps to server_start + pre_s on the client clock
+        offset = (server_start + pre_s) - root.get("start", 0.0)
+        server_children.append(span_from_dict(root, offset))
+    _graft_leg(children, "rpc.wire", min(server_end, t_recv), t_recv, tid)
+    return {"send": send_s, "wire": wire_s,
+            "server_queue": max(0.0, total_s - engine_s),
+            "engine": engine_s}
+
+
 def _set_label(values: Sequence[int]) -> str:
     """Collapse a partition/node-group set into one label value."""
     if not values:

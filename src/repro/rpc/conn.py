@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import (
@@ -125,7 +126,30 @@ class ClientConn:
         raised after the in-order read completes.
         """
         req_id = self._send(method, params)
-        return self._await(req_id)
+        return self._await(req_id).get("result")
+
+    def call_traced(self, method: str,
+                    params: Optional[Mapping[str, Any]] = None,
+                    trace: Optional[Mapping[str, Any]] = None
+                    ) -> tuple[Any, Optional[dict[str, Any]],
+                               float, float, float]:
+        """A ``call`` that propagates a trace envelope and times itself.
+
+        Returns ``(result, server_trace_payload, t_send, t_sent,
+        t_recv)`` — ``perf_counter`` marks taken before the send, after
+        ``sendall`` returned, and after the response arrived, which is
+        exactly what :func:`repro.metrics.tracing.graft_remote_call`
+        needs to align the server's window into the client clock. The
+        payload is ``None`` when the server attached no spans (error
+        responses, unsampled requests, old servers).
+        """
+        t_send = time.perf_counter()
+        req_id = self._send(method, params, trace=trace)
+        t_sent = time.perf_counter()
+        response = self._await(req_id)
+        t_recv = time.perf_counter()
+        return (response.get("result"), response.get("trace"),
+                t_send, t_sent, t_recv)
 
     def send_nowait(self, method: str,
                     params: Optional[Mapping[str, Any]] = None) -> int:
@@ -168,17 +192,19 @@ class ClientConn:
         self._conn.settimeout(timeout)
 
     def _send(self, method: str,
-              params: Optional[Mapping[str, Any]]) -> int:
+              params: Optional[Mapping[str, Any]],
+              trace: Optional[Mapping[str, Any]] = None) -> int:
         # injected connection reset: close before sending so the send
         # (or the response read) fails exactly like a TCP RST would
         if fault_point("rpc.client.send", method=method):
             self._conn.close()
         self._next_id += 1
         req_id = self._next_id
-        self._conn.send(protocol.request(req_id, method, params))
+        self._conn.send(protocol.request(req_id, method, params,
+                                         trace=trace))
         return req_id
 
-    def _await(self, req_id: int) -> Any:
+    def _await(self, req_id: int) -> dict[str, Any]:
         pipelined_error: Optional[Mapping[str, Any]] = None
         while True:
             response = self._conn.recv()
@@ -206,7 +232,7 @@ class ClientConn:
             protocol.raise_remote(response.get("error", {}))
         if pipelined_error is not None:
             protocol.raise_remote(pipelined_error)
-        return response.get("result")
+        return response
 
 
 def dial(host: str, port: int, *, unix_path: Optional[str] = None,

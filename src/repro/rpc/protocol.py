@@ -10,9 +10,21 @@ responses match up by ``id`` even under pipelining).
 
 Requests and responses::
 
-    {"id": 7, "method": "tx", "params": {...}}
-    {"id": 7, "ok": true,  "result": {...}}
+    {"id": 7, "method": "tx", "params": {...}, "trace": {"id": "41"}}
+    {"id": 7, "ok": true,  "result": {...}, "trace": {...}}
     {"id": 7, "ok": false, "error": {"type": "DeadlockError", "message": "..."}}
+
+The ``trace`` fields are optional on both sides (either end may omit
+them with no protocol change — absent means unsampled). A request-side
+``trace`` envelope carries the client's ``trace_id`` and marks the
+request as sampled; the server then binds a per-request trace so engine
+spans (``commit.participant``, ``lock_wait``, ``shard_fetch``,
+``log_flush``) record under the client's operation, and the response's
+``trace`` payload ships them back — the span tree in ``to_dict`` form
+plus the server's ``perf_counter`` window (``started``/``pre_s``/
+``engine_s``/``total_s``) and identity (``pid``/``server``), which
+:func:`repro.metrics.tracing.graft_remote_call` aligns into the client
+clock and folds under the client's ``rpc.<method>`` span.
 
 Three value-level codecs live here because both ends need them:
 
@@ -95,8 +107,12 @@ def decode_payload(payload: bytes) -> dict[str, Any]:
 
 
 def request(req_id: int, method: str,
-            params: Optional[Mapping[str, Any]] = None) -> dict[str, Any]:
-    return {"id": req_id, "method": method, "params": dict(params or {})}
+            params: Optional[Mapping[str, Any]] = None,
+            trace: Optional[Mapping[str, Any]] = None) -> dict[str, Any]:
+    message = {"id": req_id, "method": method, "params": dict(params or {})}
+    if trace is not None:
+        message["trace"] = dict(trace)
+    return message
 
 
 def ok(req_id: int, result: Any) -> dict[str, Any]:

@@ -46,7 +46,7 @@ from repro.faults import DropConnection, FaultInjector, FaultPlan, fault_point
 from repro.metrics import export
 from repro.metrics.flightrecorder import FlightRecorder
 from repro.metrics.registry import MetricsRegistry
-from repro.metrics.tracing import _RegistryContext
+from repro.metrics.tracing import Span, Trace, _RegistryContext
 from repro.ndb.config import NDBConfig
 from repro.ndb.locks import LockMode
 from repro.rpc import protocol
@@ -103,6 +103,7 @@ class NDBServer:
                  registry: Optional[MetricsRegistry] = None,
                  drain_timeout: float = 5.0,
                  metrics_path: Optional[str] = None,
+                 metrics_port: Optional[int] = None,
                  flight_dir: Optional[str] = None) -> None:
         if driver is not None and config is not None:
             raise ValueError("pass either a driver or a config, not both")
@@ -115,7 +116,15 @@ class NDBServer:
         self.registry = registry or MetricsRegistry()
         self.drain_timeout = drain_timeout
         self.metrics_path = metrics_path
+        #: serve the registry over HTTP (Prometheus + JSON) when set
+        #: (0 picks a free port; the bound port lands on the READY line)
+        self.metrics_port = metrics_port
+        self.metrics_http_port = 0
+        self._metrics_http: Optional["_MetricsHTTP"] = None
         self.flight = FlightRecorder(name=f"rpc-{name}", dump_dir=flight_dir)
+        #: open server-side transactions across all connections — the
+        #: queue-depth signal the autoscaler/`repro top` consume
+        self._open_txs = self.registry.gauge("rpc_open_txs")
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_threads: list[threading.Thread] = []  # guarded_by: _mutex
@@ -172,6 +181,10 @@ class NDBServer:
         self._listener = listener
         if self.unix_path is None:
             self.port = listener.getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_http = _MetricsHTTP(self)
+            self.metrics_http_port = self._metrics_http.start(
+                self.host, self.metrics_port)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"rpc-accept-{self.name}",
             daemon=True)
@@ -215,6 +228,10 @@ class NDBServer:
         drain_aborted = sum(state.abort_all() for state in states)
         if drain_aborted:
             self.registry.inc("rpc_drain_aborted_total", drain_aborted)
+            self._open_txs.inc(-drain_aborted)
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
         for state in states:
             conn = getattr(state, "conn", None)
             if conn is not None:
@@ -309,7 +326,9 @@ class NDBServer:
                     except RPCError:
                         break
         finally:
-            state.abort_all()
+            aborted = state.abort_all()
+            if aborted:
+                self._open_txs.inc(-aborted)
             conn.close()
             with self._mutex:
                 self._states.discard(state)
@@ -320,6 +339,7 @@ class NDBServer:
         req_id = message.get("id", 0)
         method = message.get("method", "")
         params = message.get("params") or {}
+        wire_trace = message.get("trace")
         handler = self._handlers.get(method)
         record = self.flight.begin(f"rpc.{method}")
         started = time.perf_counter()
@@ -328,8 +348,10 @@ class NDBServer:
             if handler is None:
                 raise protocol.ProtocolError(f"unknown method {method!r}")
             fault_point("rpc.server.request", method=method)
-            result = handler(state, params)
-            return protocol.ok(req_id, result)
+            if wire_trace is None:
+                return protocol.ok(req_id, handler(state, params))
+            return self._dispatch_traced(state, params, req_id, method,
+                                         handler, wire_trace, started)
         except DropConnection as exc:
             # injected transport kill: must never be serialized — the
             # conn loop closes the socket instead of answering
@@ -346,6 +368,35 @@ class NDBServer:
                                   time.perf_counter() - started,
                                   method=method)
             self.flight.end(record, error=error)
+
+    def _dispatch_traced(self, state: _ConnState, params: Mapping[str, Any],
+                         req_id: int, method: str, handler: Any,
+                         wire_trace: Mapping[str, Any],
+                         started: float) -> dict[str, Any]:
+        """Serve one sampled request under a per-request server trace.
+
+        The incoming envelope marks the request sampled: engine spans the
+        handler produces (``lock_wait``, ``commit.participant``,
+        ``shard_fetch``, ``log_flush``) record under a fresh
+        :class:`Trace` bound to this thread, and the response ships the
+        finished span tree plus the server's ``perf_counter`` window —
+        :func:`repro.metrics.tracing.graft_remote_call` on the client
+        aligns it into the originating operation's tree.
+        """
+        trace = Trace(f"rpc.{method}", time.perf_counter())
+        with trace:
+            result = handler(state, params)
+        response = protocol.ok(req_id, result)
+        response["trace"] = {
+            "pid": os.getpid(), "server": self.name,
+            "client_trace_id": wire_trace.get("id"),
+            "started": started,
+            "pre_s": trace.start - started,
+            "engine_s": trace.end - trace.start,
+            "total_s": time.perf_counter() - started,
+            "root": Span.to_dict(trace),
+        }
+        return response
 
     # -- tx plumbing -----------------------------------------------------------
 
@@ -428,6 +479,7 @@ class NDBServer:
         handle = next(self._handles)
         with state.lock:
             state.txs[handle] = (tx, StatsCursor())
+        self._open_txs.inc(1)
         return {"tx": handle, "coordinator": getattr(tx, "coordinator", -1)}
 
     def _h_tx_read(self, state: _ConnState,
@@ -514,6 +566,7 @@ class NDBServer:
         # resolves to: aborted)
         fault_point("rpc.server.commit.before", tx=params.get("tx"))
         tx, cursor = self._pop_tx(state, params)
+        self._open_txs.inc(-1)
         tx.commit()
         # "crash after the commit applied": the client sees the same
         # connection loss, but the commit is durable (resolves to:
@@ -524,6 +577,7 @@ class NDBServer:
     def _h_tx_abort(self, state: _ConnState,
                     params: Mapping[str, Any]) -> dict[str, Any]:
         tx, cursor = self._pop_tx(state, params)
+        self._open_txs.inc(-1)
         tx.abort()
         return {"stats": cursor.delta(tx.stats)}
 
@@ -533,9 +587,13 @@ class NDBServer:
                    params: Mapping[str, Any]) -> dict[str, Any]:
         meta = {"server": self.name, "pid": os.getpid(),
                 "engine": self.driver.engine_name}
-        return export.snapshot(
+        data = export.snapshot(
             self.registry, meta=meta,
             include_samples=params.get("include_samples", True))
+        window = params.get("window")
+        if window:
+            data["windows"] = export.windows(self.registry, float(window))
+        return data
 
     def _h_flight_dump(self, state: _ConnState,
                        params: Mapping[str, Any]) -> Optional[str]:
@@ -638,6 +696,85 @@ class NDBServer:
         return out
 
 
+# -- metrics HTTP endpoint -----------------------------------------------------
+
+
+class _MetricsHTTP:
+    """Background HTTP server exposing the registry (scrape endpoint).
+
+    ``GET /metrics`` serves the Prometheus text exposition; ``GET
+    /metrics.json`` a sample-carrying JSON snapshot with sliding-window
+    views attached (``?window=N`` seconds, default 60) — the feed
+    ``python -m repro top`` and the autoscaler poll; ``GET /healthz`` a
+    liveness probe. Runs on its own thread pool so a slow scrape never
+    blocks the RPC loop.
+    """
+
+    def __init__(self, ndb: "NDBServer") -> None:
+        self._ndb = ndb
+        self._httpd: Optional[Any] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self, host: str, port: int) -> int:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+        from urllib.parse import parse_qs, urlparse
+
+        ndb = self._ndb
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                parsed = urlparse(self.path)
+                if parsed.path in ("/", "/metrics"):
+                    body = export.prometheus_text(ndb.registry)
+                    ctype = "text/plain; version=0.0.4"
+                elif parsed.path == "/metrics.json":
+                    query = parse_qs(parsed.query)
+                    try:
+                        window = float(query.get("window", ["60"])[0])
+                    except ValueError:
+                        window = 60.0
+                    data = export.snapshot(
+                        ndb.registry, include_samples=True,
+                        meta={"server": ndb.name, "pid": os.getpid(),
+                              "engine": ndb.driver.engine_name})
+                    data["windows"] = export.windows(ndb.registry, window)
+                    body = json.dumps(data, sort_keys=True)
+                    ctype = "application/json"
+                elif parsed.path == "/healthz":
+                    body = json.dumps({"ok": True, "server": ndb.name,
+                                       "pid": os.getpid()})
+                    ctype = "application/json"
+                else:
+                    self.send_error(404)
+                    return
+                payload = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # stdout belongs to the READY handshake
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"metrics-http-{ndb.name}", daemon=True)
+        self._thread.start()
+        return self._httpd.server_address[1]
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
 # -- CLI entry point (python -m repro serve) -----------------------------------
 
 
@@ -669,6 +806,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(chaos runs against supervised workers)")
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write a mergeable metrics snapshot here on exit")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics (Prometheus) and /metrics.json "
+                             "over HTTP on PORT (0 picks a free one; the "
+                             "bound port is printed on the READY line)")
     parser.add_argument("--flight-dir", default=None, metavar="DIR",
                         help="flight-recorder dump directory for this process")
     return parser
@@ -691,6 +833,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                        unix_path=args.unix,
                        name=args.name, drain_timeout=args.drain_timeout,
                        metrics_path=args.metrics_json,
+                       metrics_port=args.metrics_port,
                        flight_dir=args.flight_dir)
     if args.fault_plan:
         with open(args.fault_plan, encoding="utf-8") as fh:
@@ -706,6 +849,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             f"pid={os.getpid()}"
     if server.unix_path is not None:
         ready += f" unix={server.unix_path}"
+    if server.metrics_port is not None:
+        ready += f" metrics={server.metrics_http_port}"
     print(ready, flush=True)
     server.serve_until_stopped()
     print(f"REPRO-NDB-SERVE EXIT name={args.name}", flush=True)

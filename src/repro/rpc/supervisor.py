@@ -76,6 +76,8 @@ class ServerHandle:
         self.host = ""
         self.port = 0
         self.unix_path: Optional[str] = None
+        #: HTTP metrics endpoint port (0 unless spawned with metrics_port=)
+        self.metrics_port = 0
         self.pid = 0
         self.restarts = 0
         #: a respawned server dying again within this many seconds of
@@ -132,6 +134,7 @@ class ServerHandle:
                 self.host = fields.get("host", "127.0.0.1")
                 self.port = int(fields.get("port", 0))
                 self.unix_path = fields.get("unix")
+                self.metrics_port = int(fields.get("metrics", 0))
                 self._ready.set()
         process.stdout.close()
 
@@ -269,6 +272,12 @@ class ServerPool:
     @property
     def addresses(self) -> list[tuple[str, int]]:
         return [(h.host, h.port) for h in self.handles]
+
+    @property
+    def metrics_addresses(self) -> list[tuple[str, int]]:
+        """(host, HTTP metrics port) per server (spawn with
+        ``metrics_port=0`` to enable the endpoint)."""
+        return [(h.host, h.metrics_port) for h in self.handles]
 
     def stop(self, timeout: float = 10.0) -> None:
         self.supervisor.stop_all(timeout=timeout)

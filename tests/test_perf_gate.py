@@ -45,6 +45,14 @@ TRACING_BASELINE = {
     "overhead_pct_sampled_64": 0.4,
 }
 
+DIST_TRACING_BASELINE = {
+    "wire_overhead_pct_full_tracing": 53.2,
+    "wire_overhead_pct_sampled_64": 2.2,
+}
+
+TRACING_MARGINS = {"overhead_pct_full_tracing": 5.0,
+                   "overhead_pct_sampled_64": 5.0}
+
 
 def test_baseline_kind_detection():
     assert perf_gate.baseline_kind(ENGINE_BASELINE) == "engine"
@@ -52,6 +60,7 @@ def test_baseline_kind_detection():
                                     "ops_per_second": {}}) == "deploy"
     assert perf_gate.baseline_kind(HOTPATH_BASELINE) == "hotpath"
     assert perf_gate.baseline_kind(TRACING_BASELINE) == "tracing"
+    assert perf_gate.baseline_kind(DIST_TRACING_BASELINE) == "disttracing"
     with pytest.raises(SystemExit, match="unrecognized baseline shape"):
         perf_gate.baseline_kind({"something": "else"})
 
@@ -107,14 +116,33 @@ def test_tracing_gate_uses_margin_in_points():
     current = {"overhead_pct_full_tracing": 15.0,   # +2.3 pts: within 5
                "overhead_pct_sampled_64": 1.0}
     rows, failures = perf_gate.compare_tracing(
-        "tracing", TRACING_BASELINE, current, margin_pts=5.0)
+        "tracing", TRACING_BASELINE, current, TRACING_MARGINS)
     assert failures == [] and all(r["ok"] for r in rows)
     current = {"overhead_pct_full_tracing": 19.9,   # +7.2 pts: over
                "overhead_pct_sampled_64": 0.2}
     _rows, failures = perf_gate.compare_tracing(
-        "tracing", TRACING_BASELINE, current, margin_pts=5.0)
+        "tracing", TRACING_BASELINE, current, TRACING_MARGINS)
     assert len(failures) == 1
     assert "overhead_pct_full_tracing" in failures[0]
+
+
+def test_distributed_tracing_gate_margins_per_key():
+    # the full-sampling wire cell gets 3x the margin, the production
+    # 1-in-64 cell keeps the tight one — a sampled regression must fail
+    # even when the (noisier) full cell is allowed a bigger swing
+    margins = {"wire_overhead_pct_full_tracing": 15.0,
+               "wire_overhead_pct_sampled_64": 5.0}
+    current = {"wire_overhead_pct_full_tracing": 65.0,  # +11.8: within 15
+               "wire_overhead_pct_sampled_64": 3.0}     # +0.8: within 5
+    rows, failures = perf_gate.compare_tracing(
+        "disttracing", DIST_TRACING_BASELINE, current, margins)
+    assert failures == [] and all(r["ok"] for r in rows)
+    current = {"wire_overhead_pct_full_tracing": 55.0,
+               "wire_overhead_pct_sampled_64": 9.9}     # +7.7: over 5
+    _rows, failures = perf_gate.compare_tracing(
+        "disttracing", DIST_TRACING_BASELINE, current, margins)
+    assert len(failures) == 1
+    assert "wire_overhead_pct_sampled_64" in failures[0]
 
 
 def test_main_handles_missing_baseline_cleanly(tmp_path, capsys):

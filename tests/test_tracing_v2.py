@@ -455,3 +455,177 @@ class TestExportAndCli:
         assert "dumped" in out
         dumps = list(tmp_path.glob("flight-nn*.json"))
         assert dumps
+
+
+# -- cross-process distributed tracing over RPC --------------------------------
+
+
+class TestDistributedTracing:
+    """Wire-level trace propagation: a traced op against a remote DAL
+    produces ONE tree spanning the client and every server process."""
+
+    def make_remote_fs(self, sample_every=1):
+        import os
+
+        from repro.dal import RemoteDriver
+        from repro.rpc import NDBServer
+
+        server = NDBServer(config=NDBConfig(num_datanodes=4, replication=2,
+                                            lock_timeout=1.0))
+        server.start()
+        driver = RemoteDriver(server.host, server.port, timeout=10.0)
+        config = HopsFSConfig(clock=ManualClock(),
+                              trace_sample_every=sample_every)
+        fs = HopsFSCluster(num_namenodes=1, num_datanodes=3,
+                           config=config, driver=driver)
+        return fs, driver, server, os.getpid()
+
+    @staticmethod
+    def spans_by_name(root, name):
+        found = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                found.append(node)
+            stack.extend(node.children or ())
+        return found
+
+    def test_traced_op_builds_single_cross_process_tree(self):
+        fs, driver, server, pid = self.make_remote_fs()
+        try:
+            fs.namenodes[0].mkdirs("/dist/a")
+        finally:
+            driver.close()
+            server.stop()
+        traces = [t for t in fs.namenodes[0].tracer.recent()
+                  if t.op == "mkdirs"]
+        assert traces
+        trace = traces[-1]
+        server_spans = self.spans_by_name(trace, "rpc.server")
+        assert server_spans, "no server-process spans grafted"
+        for srv in server_spans:
+            assert srv.labels["pid"] == str(pid)
+            assert srv.labels["server"] == "ndb0"
+        # >= 4 distinct client-observed RPC phases present in the tree
+        phase_names = {"rpc.send", "rpc.wire", "rpc.server_queue"}
+        present = {name for name in phase_names
+                   if self.spans_by_name(trace, name)}
+        assert present == phase_names
+        assert server_spans  # the engine leg (4th phase) is rpc.server
+        # engine spans recorded *inside the server* under the client tree
+        assert self.spans_by_name(trace, "commit.participant")
+
+    def test_phase_decomposition_recorded_and_aligned(self):
+        fs, driver, server, _pid = self.make_remote_fs()
+        try:
+            fs.namenodes[0].mkdirs("/phases/x")
+        finally:
+            driver.close()
+            server.stop()
+        registry = fs.namenodes[0].metrics
+        phases = {}
+        for h in registry.histograms():
+            if h.name == "rpc_request_seconds":
+                phases.setdefault(dict(h.labels)["phase"], 0)
+                phases[dict(h.labels)["phase"]] += h.count
+        assert set(phases) == {"send", "wire", "server_queue", "engine"}
+        assert all(count > 0 for count in phases.values())
+        # alignment invariant: every grafted server window sits inside
+        # its parent rpc.<method> span's client-clock bounds
+        for trace in fs.namenodes[0].tracer.recent():
+            for srv in self.spans_by_name(trace, "rpc.server"):
+                parent = next(
+                    s for s in self._walk(trace)
+                    if srv in (s.children or ()))
+                assert parent.start <= srv.start
+                assert srv.end <= parent.end + 1e-9
+                for child in srv.children or ():
+                    assert srv.start - 1e-9 <= child.start
+                    assert (child.end or child.start) <= srv.end + 1e-9
+
+    @staticmethod
+    def _walk(root):
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children or ())
+
+    def test_unsampled_ops_carry_no_trace_envelope(self):
+        fs, driver, server, _pid = self.make_remote_fs(sample_every=0)
+        try:
+            fs.namenodes[0].mkdirs("/plain/a")
+            registry = fs.namenodes[0].metrics
+            assert not any(h.name == "rpc_request_seconds"
+                           for h in registry.histograms())
+            assert not fs.namenodes[0].tracer.recent()
+        finally:
+            driver.close()
+            server.stop()
+
+    def test_pipelined_writes_record_events_not_envelopes(self):
+        from repro.dal import RemoteDriver
+        from repro.metrics import MetricsRegistry
+        from repro.rpc import NDBServer
+
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, sample_every=1)
+        schema = TableSchema(name="p", columns=("k", "v"),
+                             primary_key=("k",))
+        with NDBServer(config=NDBConfig()) as server:
+            driver = RemoteDriver(server.host, server.port, timeout=10.0,
+                                  pipeline_writes=True)
+            driver.create_table(schema)
+            with tracer.trace("batch") as trace:
+                session = driver.session()
+
+                def fn(tx):
+                    for i in range(3):
+                        tx.insert("p", {"k": i, "v": "x"})
+
+                session.run(fn)
+            driver.close()
+        events = [s for s in self._walk(trace)
+                  if s.name == "rpc.tx.insert"]
+        assert len(events) == 3
+        # pipelined writes are events (zero-length), not full rpc spans
+        assert all(e.start == e.end for e in events)
+        assert all(e.labels.get("pipelined") == "True" for e in events)
+
+    def test_multiprocess_chrome_export(self, tmp_path):
+        from repro.metrics.traceexport import to_chrome
+
+        fs, driver, server, pid = self.make_remote_fs()
+        try:
+            fs.namenodes[0].mkdirs("/chrome/a")
+            fs.namenodes[0].create("/chrome/a/f")
+        finally:
+            driver.close()
+            server.stop()
+        traces = fs.namenodes[0].tracer.recent()
+        doc = to_chrome(traces)
+        events = doc["traceEvents"]
+        client_pids = set(range(len(traces)))
+        server_pids = {e["pid"] for e in events
+                       if e.get("ph") != "M"} - client_pids
+        assert server_pids, "server spans did not get their own pid"
+        # server process metadata names the real process
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        for spid in server_pids:
+            assert meta[spid] == f"server ndb0 [pid {pid}]"
+        # one real server process == one chrome pid, shared across traces
+        assert len(server_pids) == 1
+        # spans under a remote pid include engine work
+        server_names = {e["name"] for e in events
+                        if e["pid"] in server_pids and e.get("ph") != "M"}
+        assert "rpc.server" in server_names
+        assert any(n.startswith("rpc.tx.") for n in server_names)
+        # timestamps are aligned into the client clock: every server
+        # event falls inside the union of the client trace windows
+        lo = round(min(t.start for t in traces) * 1e6, 3)
+        hi = round(max(t.end for t in traces) * 1e6, 3)
+        for e in events:
+            if e["pid"] in server_pids and e.get("ph") == "X":
+                assert lo - 1 <= e["ts"] <= hi + 1
